@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: basic-block replication (Section 3.1/3.5). Replicating a
+ * small block's dataflow graph multiplies injection throughput; this
+ * harness disables it and reports the per-kernel slowdown.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vgiw;
+    using namespace vgiw::bench;
+
+    printHeader("Ablation: block replication on the MT-CGRF",
+                "Section 3.1 design choice");
+
+    SystemConfig with;
+    SystemConfig without;
+    without.vgiw.enableReplication = false;
+
+    Runner r_with(with), r_without(without);
+    std::vector<double> slowdowns;
+    std::printf("  %-28s %12s %12s %9s\n", "kernel", "replicated",
+                "1 replica", "speedup");
+    for (const auto &entry : workloadRegistry()) {
+        WorkloadInstance w = entry.make();
+        TraceSet traces = r_with.trace(w);
+        RunStats a = VgiwCore(with.vgiw).run(traces);
+        RunStats b = VgiwCore(without.vgiw).run(traces);
+        const double s = double(b.cycles) / double(a.cycles);
+        std::printf("  %-28s %12llu %12llu %8.2fx\n", entry.name.c_str(),
+                    (unsigned long long)a.cycles,
+                    (unsigned long long)b.cycles, s);
+        slowdowns.push_back(s);
+    }
+    std::printf("%s\n", std::string(76, '-').c_str());
+    std::printf("  replication delivers %.2fx average throughput\n",
+                mean(slowdowns));
+    return 0;
+}

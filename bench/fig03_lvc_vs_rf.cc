@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 3: the number of accesses to the LVC as a fraction of the
+ * number of accesses a GPGPU register file performs for the same kernel.
+ * The paper reports an average just under 0.1 ("almost 10x less
+ * frequently"); kernels whose values never cross a block boundary sit at
+ * zero.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vgiw;
+    using namespace vgiw::bench;
+
+    printHeader("LVC accesses as a fraction of GPGPU RF accesses",
+                "Figure 3");
+
+    auto results = runSuite();
+    std::vector<double> ratios;
+    for (const auto &c : results) {
+        const double r = c.lvcToRfRatio();
+        printBar(c.workload, r, 0.5, "");
+        ratios.push_back(r);
+    }
+    std::printf("%s\n", std::string(76, '-').c_str());
+    std::printf("  %-28s %7.3f   (paper: ~0.1 average)\n", "AVERAGE",
+                mean(ratios));
+    return 0;
+}

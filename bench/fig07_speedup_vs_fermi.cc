@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 7: speedup of a VGIW core over an NVIDIA Fermi SM, per kernel.
+ * The paper reports 0.9x (slowdown on pure data-movement kernels, e.g.
+ * CFD's time_step) up to 11x, with an average above 3x.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vgiw;
+    using namespace vgiw::bench;
+
+    printHeader("Speedup of VGIW over a Fermi SM", "Figure 7");
+
+    auto results = runSuite();
+    std::vector<double> speedups;
+    for (const auto &c : results) {
+        const double s = c.speedupVsFermi();
+        printBar(c.workload, s, 12.0);
+        speedups.push_back(s);
+    }
+    std::printf("%s\n", std::string(76, '-').c_str());
+    std::printf("  %-28s %7.2fx  (paper: >3x average, 0.9x-11x range)\n",
+                "AVERAGE (arith)", mean(speedups));
+    std::printf("  %-28s %7.2fx\n", "AVERAGE (geo)", geomean(speedups));
+    return 0;
+}

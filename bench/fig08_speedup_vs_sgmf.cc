@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 8: speedup of VGIW over the SGMF dataflow GPGPU, on the subset
+ * of kernels whose whole CDFG fits the SGMF fabric. The paper reports
+ * 0.4x-3.1x per kernel with an average better than 1.45x — SGMF wins on
+ * small kernels with little divergence, VGIW on everything else, and
+ * kernels too large for SGMF simply cannot run there.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vgiw;
+    using namespace vgiw::bench;
+
+    printHeader("Speedup of VGIW over SGMF (SGMF-mappable kernels)",
+                "Figure 8");
+
+    auto results = runSuite();
+    std::vector<double> speedups;
+    int unsupported = 0;
+    for (const auto &c : results) {
+        if (!c.sgmf.supported) {
+            std::printf("  %-28s    (kernel CDFG exceeds the SGMF "
+                        "fabric)\n",
+                        c.workload.c_str());
+            ++unsupported;
+            continue;
+        }
+        const double s = c.speedupVsSgmf();
+        printBar(c.workload, s, 4.0);
+        speedups.push_back(s);
+    }
+    std::printf("%s\n", std::string(76, '-').c_str());
+    std::printf("  %-28s %7.2fx  (paper: ~1.45x average, 0.4x-3.1x)\n",
+                "AVERAGE (arith)", mean(speedups));
+    std::printf("  %-28s %7.2fx\n", "AVERAGE (geo)", geomean(speedups));
+    std::printf("  %d of %zu kernels unmappable on SGMF (VGIW runs "
+                "all)\n",
+                unsupported, results.size());
+    return 0;
+}

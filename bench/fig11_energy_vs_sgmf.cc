@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 11: energy efficiency of VGIW over SGMF on the SGMF-mappable
+ * kernels. The paper reports a 1.33x average: SGMF wins on small
+ * kernels with little divergence (no LVC round-trips), VGIW wins once
+ * divergence makes SGMF's statically mapped all-paths fabric burn energy
+ * on blocks threads never take.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace vgiw;
+    using namespace vgiw::bench;
+
+    printHeader("Energy efficiency of VGIW over SGMF", "Figure 11");
+
+    auto results = runSuite();
+    std::vector<double> ratios;
+    for (const auto &c : results) {
+        if (!c.sgmf.supported) {
+            std::printf("  %-28s    (kernel CDFG exceeds the SGMF "
+                        "fabric)\n",
+                        c.workload.c_str());
+            continue;
+        }
+        const double r = c.energyEfficiencyVsSgmf();
+        printBar(c.workload, r, 3.0);
+        ratios.push_back(r);
+    }
+    std::printf("%s\n", std::string(76, '-').c_str());
+    std::printf("  %-28s %7.2fx  (paper: ~1.33x average)\n",
+                "AVERAGE (arith)", mean(ratios));
+    std::printf("  %-28s %7.2fx\n", "AVERAGE (geo)", geomean(ratios));
+    return 0;
+}

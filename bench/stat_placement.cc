@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Placement inventory: for every Table 2 kernel, how its blocks map onto
+ * the 108-unit grid — nodes per replica, replication factor, critical
+ * path and fabric utilisation. This is the data behind the paper's
+ * utilisation argument (Figure 1d: replicating small blocks to fill the
+ * fabric) and behind Figure 8's "kernel fits / does not fit" rows.
+ */
+
+#include <cstdio>
+
+#include "cgrf/placer.hh"
+#include "sgmf/sgmf_core.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vgiw;
+    const GridConfig grid = GridConfig::makeTable1();
+    Placer placer(grid);
+    SgmfCore sgmf;
+
+    std::printf("Per-kernel MT-CGRF placement (grid: %d units)\n",
+                grid.numUnits());
+    std::printf("  %-28s %7s %9s %9s %9s %7s %6s\n", "kernel", "blocks",
+                "max nodes", "avg repl", "max crit", "util",
+                "SGMF?");
+    std::printf("%s\n", std::string(82, '-').c_str());
+
+    for (const auto &entry : workloadRegistry()) {
+        WorkloadInstance w = entry.make();
+        int max_nodes = 0, max_crit = 0;
+        double util = 0.0, repl = 0.0;
+        for (const auto &blk : w.kernel.blocks) {
+            PlacedBlock pb = placer.place(buildBlockDfg(blk));
+            max_nodes = std::max(max_nodes, pb.nodesPerReplica);
+            max_crit = std::max(max_crit, pb.criticalPathCycles);
+            repl += pb.replicas;
+            util += pb.utilization(grid.numUnits());
+        }
+        const int n = w.kernel.numBlocks();
+        std::printf("  %-28s %7d %9d %8.1fx %9d %6.0f%% %6s\n",
+                    entry.name.c_str(), n, max_nodes, repl / n, max_crit,
+                    100.0 * util / n,
+                    sgmf.supports(w.kernel) ? "yes" : "no");
+    }
+    std::printf("\n'util' is the average fraction of the fabric occupied "
+                "while each block\nexecutes (replication included); "
+                "'SGMF?' marks whole-kernel mappability.\n");
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table 1: the VGIW system configuration. Prints the configuration the
+ * simulators instantiate and validates it against the paper's numbers.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "cgrf/config_cost.hh"
+#include "driver/system_config.hh"
+#include "mem/memory_system.hh"
+
+int
+main()
+{
+    using namespace vgiw;
+    SystemConfig cfg;
+    cfg.printTable1(std::cout);
+
+    std::printf("\nDerived properties:\n");
+    std::printf("  Reconfiguration cost     : %d cycles "
+                "(paper: 34 cycles, Section 2)\n",
+                reconfigCycles(cfg.vgiw.grid.numUnits()));
+    std::printf("  Config pass (row-fed)    : %d cycles x 2 "
+                "(paper: 11 cycles, twice)\n",
+                configPassCycles(cfg.vgiw.grid.numUnits()));
+    const uint32_t fermi_rf = 4 * cfg.vgiw.lvcBytes;
+    std::printf("  Fermi RF for comparison  : %u KB (LVC is 4x "
+                "smaller, Section 3.4)\n",
+                fermi_rf / 1024);
+    std::printf("  Max block replication    : %d (16 CVUs / 2 per "
+                "replica)\n",
+                cfg.vgiw.maxReplicas);
+    return 0;
+}

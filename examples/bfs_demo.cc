@@ -1,0 +1,80 @@
+/**
+ * @file
+ * End-to-end benchmark demo: runs the Rodinia-style BFS frontier kernel
+ * on all three architectures, validates the result against the native
+ * reference, and prints the paper-style comparison — the per-kernel view
+ * behind Figures 7 and 9.
+ *
+ * Run:  ./build/examples/example_bfs_demo
+ */
+
+#include <cstdio>
+
+#include "driver/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace vgiw;
+
+namespace
+{
+
+void
+printRun(const RunStats &rs)
+{
+    std::printf("  %-6s cycles %9llu | core %8.0f pJ | die %8.0f pJ | "
+                "system %8.0f pJ\n",
+                rs.arch.c_str(), (unsigned long long)rs.cycles,
+                rs.energy.corePj(), rs.energy.diePj(),
+                rs.energy.systemPj());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("BFS on VGIW / Fermi / SGMF\n");
+    std::printf("==========================\n\n");
+
+    WorkloadInstance w = makeWorkload("BFS/Kernel");
+    std::printf("Workload: %s (%s), %d blocks, %d threads\n",
+                w.fullName().c_str(), w.domain.c_str(),
+                w.kernel.numBlocks(), w.launch.numThreads());
+
+    Runner runner;
+    ArchComparison c = runner.compare(w);
+    std::printf("Golden check: %s\n\n",
+                c.goldenPassed ? "PASSED" : c.goldenError.c_str());
+
+    printRun(c.vgiw);
+    printRun(c.fermi);
+    if (c.sgmf.supported)
+        printRun(c.sgmf);
+    else
+        std::printf("  sgmf   (kernel CDFG exceeds the fabric)\n");
+
+    std::printf("\nHeadline ratios:\n");
+    std::printf("  speedup over Fermi            %.2fx\n",
+                c.speedupVsFermi());
+    std::printf("  energy efficiency over Fermi  %.2fx\n",
+                c.energyEfficiencyVsFermi());
+    if (c.sgmf.supported) {
+        std::printf("  speedup over SGMF             %.2fx\n",
+                    c.speedupVsSgmf());
+        std::printf("  energy efficiency over SGMF   %.2fx\n",
+                    c.energyEfficiencyVsSgmf());
+    }
+    std::printf("  LVC/RF access ratio (Fig. 3)  %.3f\n",
+                c.lvcToRfRatio());
+    std::printf("  reconfig overhead             %.2f%%\n",
+                100.0 * c.vgiw.configOverheadFraction());
+
+    std::printf("\nWhy BFS benefits: the frontier test and per-node "
+                "degrees diverge, so a\nSIMT machine masks lanes off "
+                "while VGIW coalesces every live thread into\neach "
+                "block's vector (%llu block executions across %llu "
+                "reconfigurations).\n",
+                (unsigned long long)c.vgiw.dynBlockExecs,
+                (unsigned long long)c.vgiw.reconfigs);
+    return 0;
+}

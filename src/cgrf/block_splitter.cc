@@ -1,0 +1,116 @@
+#include "cgrf/block_splitter.hh"
+
+#include <map>
+#include <vector>
+
+#include "cgrf/placer.hh"
+#include "common/logging.hh"
+#include "ir/verifier.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+/** True when one replica of @p blk's DFG fits the grid. */
+bool
+fits(const BasicBlock &blk, const Placer &placer, const CgrfTiming &t)
+{
+    Dfg g = buildBlockDfg(blk, t);
+    return placer.place(g, 1).fits;
+}
+
+/**
+ * Split @p blk at instruction @p cut. The returned pair replaces it:
+ * first = instrs [0, cut) + live-outs for every local the suffix needs;
+ * second = instrs [cut, n) with Local operands remapped, plus the
+ * original live-outs and terminator.
+ */
+std::pair<BasicBlock, BasicBlock>
+splitAt(const BasicBlock &blk, size_t cut, int &next_lvid)
+{
+    BasicBlock first, second;
+    first.name = blk.name + ".a";
+    second.name = blk.name + ".b";
+    first.instrs.assign(blk.instrs.begin(),
+                        blk.instrs.begin() + long(cut));
+    second.instrs.assign(blk.instrs.begin() + long(cut),
+                         blk.instrs.end());
+
+    // Locals of the prefix consumed by the suffix cross through the LVC.
+    std::map<uint16_t, uint16_t> cut_lvid;  // old local idx -> lvid
+    auto remap = [&](Operand &o) {
+        if (o.kind != OperandKind::Local)
+            return;
+        if (o.index >= cut) {
+            o.index = uint16_t(o.index - cut);
+            return;
+        }
+        auto it = cut_lvid.find(o.index);
+        if (it == cut_lvid.end()) {
+            const uint16_t lvid = uint16_t(next_lvid++);
+            first.liveOuts.push_back(LiveOut{lvid, Operand::local(o.index)});
+            it = cut_lvid.emplace(o.index, lvid).first;
+        }
+        o = Operand::liveIn(it->second);
+    };
+
+    for (auto &in : second.instrs)
+        for (auto &s : in.src)
+            remap(s);
+    second.liveOuts = blk.liveOuts;
+    for (auto &lo : second.liveOuts)
+        remap(lo.value);
+    second.term = blk.term;
+    remap(second.term.cond);
+
+    // The prefix falls through to the suffix.
+    first.term.kind = TermKind::Jump;
+    first.term.target[0] = -1;  // patched by the caller
+    first.term.barrier = false;
+    return {first, second};
+}
+
+} // namespace
+
+Kernel
+splitOversizedBlocks(Kernel k, const GridConfig &grid,
+                     const CgrfTiming &timing)
+{
+    Placer placer(grid);
+    int next_lvid = k.numLiveValues;
+
+    for (int b = 0; b < int(k.blocks.size()); /* advance inside */) {
+        BasicBlock &blk = k.blocks[b];
+        if (fits(blk, placer, timing)) {
+            ++b;
+            continue;
+        }
+        if (blk.instrs.size() <= 1) {
+            vgiw_fatal("kernel '", k.name, "' block '", blk.name,
+                       "': a single instruction exceeds the grid");
+        }
+
+        // Shift every target beyond b before copying the terminator
+        // into the suffix, so the suffix's successors stay correct.
+        for (auto &other : k.blocks) {
+            for (int s = 0; s < other.term.numTargets(); ++s) {
+                if (other.term.target[s] > b)
+                    ++other.term.target[s];
+            }
+        }
+        const size_t cut = blk.instrs.size() / 2;
+        auto [first, second] = splitAt(blk, cut, next_lvid);
+        first.term.target[0] = b + 1;
+        k.blocks[b] = std::move(first);
+        k.blocks.insert(k.blocks.begin() + b + 1, std::move(second));
+        // Re-examine the first half (it may still be too large).
+    }
+
+    k.numLiveValues = next_lvid;
+    verifyKernel(k);
+    return k;
+}
+
+} // namespace vgiw

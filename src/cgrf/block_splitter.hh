@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Compiler pass that splits basic blocks whose dataflow graphs exceed
+ * the MT-CGRF's per-kind unit capacity.
+ *
+ * The von Neumann side of VGIW removes any limit on *kernel* size
+ * (Section 1), but each individual graph instruction word must still fit
+ * the fabric. The compiler guarantees that by cutting an oversized block
+ * in two: the prefix publishes every value the suffix consumes as a
+ * fresh live value (an LVC round-trip), and the suffix inherits the
+ * original terminator and live-outs. The pass iterates until every
+ * block's placed DFG fits a single replica.
+ */
+
+#ifndef VGIW_CGRF_BLOCK_SPLITTER_HH
+#define VGIW_CGRF_BLOCK_SPLITTER_HH
+
+#include "cgrf/dataflow_graph.hh"
+#include "cgrf/grid.hh"
+#include "ir/kernel.hh"
+
+namespace vgiw
+{
+
+/**
+ * Return a kernel in which every block fits @p grid (single replica).
+ * Blocks already fitting are untouched; oversized ones are split, with
+ * block IDs renumbered so the reverse-post-order property (forward edges
+ * to larger IDs) is preserved. Fatal if a single instruction cannot fit.
+ */
+Kernel splitOversizedBlocks(Kernel kernel,
+                            const GridConfig &grid = GridConfig::makeTable1(),
+                            const CgrfTiming &timing = {});
+
+} // namespace vgiw
+
+#endif // VGIW_CGRF_BLOCK_SPLITTER_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reconfiguration cost model (Section 3.2): configuration tokens are fed
+ * row-parallel from the grid's left perimeter, taking ceil(sqrt(N)) cycles
+ * per pass; two passes deliver all configuration data, after a reset that
+ * also clears the token buffers. For the 108-unit Table 1 grid this is
+ * 2 * 11 + 12 = 34 cycles, matching the paper's "reconfiguration only
+ * takes 34 cycles".
+ */
+
+#ifndef VGIW_CGRF_CONFIG_COST_HH
+#define VGIW_CGRF_CONFIG_COST_HH
+
+#include <cmath>
+
+namespace vgiw
+{
+
+/** Cycles to reset the grid before loading a new configuration. */
+constexpr int kGridResetCycles = 12;
+
+/** Cycles of one row-parallel configuration pass over @p num_units. */
+inline int
+configPassCycles(int num_units)
+{
+    return int(std::ceil(std::sqrt(double(num_units))));
+}
+
+/** Total cycles to reconfigure a grid of @p num_units units. */
+inline int
+reconfigCycles(int num_units)
+{
+    return 2 * configPassCycles(num_units) + kGridResetCycles;
+}
+
+} // namespace vgiw
+
+#endif // VGIW_CGRF_CONFIG_COST_HH

@@ -1,0 +1,200 @@
+#include "cgrf/dataflow_graph.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace vgiw
+{
+
+UnitCounts
+Dfg::unitNeeds() const
+{
+    UnitCounts c{};
+    for (const auto &n : nodes) {
+        if (n.aliasOf < 0)
+            ++countOf(c, n.unit);
+    }
+    return c;
+}
+
+namespace
+{
+
+int
+latencyFor(ResourceClass rc, const CgrfTiming &t)
+{
+    switch (rc) {
+      case ResourceClass::IntAlu: return t.intAluLatency;
+      case ResourceClass::FpAlu: return t.fpAluLatency;
+      case ResourceClass::Scu: return t.scuLatency;
+      case ResourceClass::Mem: return t.ldstLatency;
+    }
+    return 1;
+}
+
+UnitKind
+unitFor(ResourceClass rc)
+{
+    switch (rc) {
+      case ResourceClass::IntAlu:
+      case ResourceClass::FpAlu:
+        return UnitKind::FpAlu;
+      case ResourceClass::Scu:
+        return UnitKind::Scu;
+      case ResourceClass::Mem:
+        return UnitKind::LdSt;
+    }
+    return UnitKind::FpAlu;
+}
+
+} // namespace
+
+Dfg
+buildBlockDfg(const BasicBlock &blk, const CgrfTiming &t)
+{
+    Dfg g;
+
+    auto add_node = [&g](UnitKind u, DfgRole r, int lat) {
+        g.nodes.push_back(DfgNode{u, r, lat, -1, -1, -1});
+        return int(g.nodes.size()) - 1;
+    };
+    auto add_edge = [&g](int from, int to) {
+        g.edges.push_back(DfgEdge{from, to});
+    };
+
+    const int initiator = add_node(UnitKind::Cvu, DfgRole::Initiator,
+                                   t.cvuLatency);
+
+    // One LVU read node per distinct live value consumed by the block.
+    std::map<int, int> livein_node;
+    auto livein_for = [&](uint16_t lvid) {
+        auto it = livein_node.find(lvid);
+        if (it != livein_node.end())
+            return it->second;
+        int n = add_node(UnitKind::Lvu, DfgRole::LiveInRead, t.lvuLatency);
+        g.nodes[n].lvid = lvid;
+        // The LVU indexes the LVC by <lvid, tid>: the thread ID token
+        // comes from the initiator.
+        add_edge(initiator, n);
+        livein_node.emplace(lvid, n);
+        return n;
+    };
+
+    // Scan operands first so LVU read nodes precede instruction nodes
+    // that consume them (keeps node order topological).
+    auto visit_operand = [&](const Operand &o) {
+        if (o.kind == OperandKind::LiveIn)
+            livein_for(o.index);
+    };
+    for (const auto &in : blk.instrs)
+        for (const auto &s : in.src)
+            visit_operand(s);
+    for (const auto &lo : blk.liveOuts)
+        visit_operand(lo.value);
+    visit_operand(blk.term.cond);
+
+    // Instruction nodes.
+    std::vector<int> instr_node(blk.instrs.size(), -1);
+    int last_load_node = -1;
+
+    auto source_node = [&](const Operand &o) -> int {
+        switch (o.kind) {
+          case OperandKind::Local: return instr_node[o.index];
+          case OperandKind::LiveIn: return livein_node.at(o.index);
+          case OperandKind::Special: return initiator;
+          case OperandKind::Const:
+          case OperandKind::Param:
+          case OperandKind::None:
+            return -1;  // baked into the unit's configuration registers
+        }
+        return -1;
+    };
+
+    for (size_t i = 0; i < blk.instrs.size(); ++i) {
+        const Instr &in = blk.instrs[i];
+        const ResourceClass rc = in.resource();
+
+        // Intra-thread memory ordering: a store must not issue before
+        // program-earlier loads have completed (write-after-read). The
+        // compiler places a join SJU between the last preceding load and
+        // the store (Section 3.5, split/join units).
+        int join = -1;
+        if (in.op == Opcode::Store && last_load_node >= 0) {
+            join = add_node(UnitKind::Sju, DfgRole::Join, t.sjuLatency);
+            add_edge(last_load_node, join);
+        }
+
+        const int n = add_node(unitFor(rc), DfgRole::Instr,
+                               latencyFor(rc, t));
+        g.nodes[n].instrIndex = int(i);
+        instr_node[i] = n;
+
+        bool has_input = false;
+        for (const auto &s : in.src) {
+            int src = source_node(s);
+            if (src >= 0) {
+                add_edge(src, n);
+                has_input = true;
+            }
+        }
+        if (join >= 0) {
+            add_edge(join, n);
+            has_input = true;
+        }
+        if (!has_input) {
+            // All-constant node: it still needs the thread's trigger
+            // token to fire once per thread.
+            add_edge(initiator, n);
+        }
+
+        if (in.op == Opcode::Load)
+            last_load_node = n;
+    }
+
+    // Live-out LVU write nodes. When the block also reads the same live
+    // value, the read node's LVU serves the write too (one configured
+    // lvid per unit) — the write aliases the read's cell.
+    for (const auto &lo : blk.liveOuts) {
+        const int n = add_node(UnitKind::Lvu, DfgRole::LiveOutWrite,
+                               t.lvuLatency);
+        g.nodes[n].lvid = lo.lvid;
+        auto shared = livein_node.find(lo.lvid);
+        if (shared != livein_node.end())
+            g.nodes[n].aliasOf = shared->second;
+        const int src = source_node(lo.value);
+        add_edge(src >= 0 ? src : initiator, n);
+    }
+
+    // Terminator CVU: consumes the branch condition (or fires off the
+    // initiator token for jumps/exits) and reports batches to the BBS.
+    const int term = add_node(UnitKind::Cvu, DfgRole::Terminator,
+                              t.cvuLatency);
+    {
+        const int src = blk.term.kind == TermKind::Branch
+                            ? source_node(blk.term.cond)
+                            : -1;
+        add_edge(src >= 0 ? src : initiator, term);
+    }
+
+    // Fanout extension: the interconnect feeds at most 4 consumers per
+    // producer; wider fanouts are served through split SJUs, each adding
+    // capacity for 3 more consumers (1 in, 4 out). The splits are
+    // accounted as nodes for capacity/energy; routing latency through
+    // them is folded into the hop model.
+    std::vector<int> outdeg(g.nodes.size(), 0);
+    for (const auto &e : g.edges)
+        ++outdeg[e.from];
+    const size_t n_before_splits = g.nodes.size();
+    for (size_t n = 0; n < n_before_splits; ++n) {
+        int extra = outdeg[n] - 4;
+        while (extra > 0) {
+            add_node(UnitKind::Sju, DfgRole::Split, t.sjuLatency);
+            extra -= 3;
+        }
+    }
+
+    return g;
+}
+
+} // namespace vgiw

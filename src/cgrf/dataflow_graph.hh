@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Construction of a basic block's dataflow graph ("graph instruction
+ * word") as it is mapped onto MT-CGRF units.
+ *
+ * Beyond one node per IR instruction, the mapping materialises the
+ * hardware helpers of Section 3.5: an initiator CVU that injects thread
+ * IDs, a terminator CVU that resolves the block's branch, one LVU node
+ * per distinct live value read or written, split SJUs for fanouts beyond
+ * the interconnect degree, and join SJUs that preserve intra-thread
+ * load->store ordering.
+ */
+
+#ifndef VGIW_CGRF_DATAFLOW_GRAPH_HH
+#define VGIW_CGRF_DATAFLOW_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cgrf/grid.hh"
+#include "ir/kernel.hh"
+
+namespace vgiw
+{
+
+/** Per-unit pipeline latencies (cycles) used for critical-path timing. */
+struct CgrfTiming
+{
+    int intAluLatency = 1;
+    int fpAluLatency = 4;
+    int scuLatency = 16;   ///< virtually pipelined; initiation interval 1
+    int ldstLatency = 28;  ///< L1 hit; misses are modelled dynamically
+    int lvuLatency = 6;    ///< LVC hit
+    int cvuLatency = 1;
+    int sjuLatency = 1;
+};
+
+/** What a DFG node stands for. */
+enum class DfgRole : uint8_t
+{
+    Initiator,     ///< CVU injecting thread batches
+    Terminator,    ///< CVU resolving the branch / building out-batches
+    Instr,         ///< an IR instruction
+    LiveInRead,    ///< LVU load of a live value
+    LiveOutWrite,  ///< LVU store of a live value
+    Split,         ///< SJU extending fanout
+    Join,          ///< SJU enforcing memory ordering
+};
+
+/** One node of the mapped dataflow graph. */
+struct DfgNode
+{
+    UnitKind unit = UnitKind::FpAlu;
+    DfgRole role = DfgRole::Instr;
+    int latency = 1;
+    int instrIndex = -1;  ///< for DfgRole::Instr
+    int lvid = -1;        ///< for the LVU roles
+    /**
+     * Index of an earlier node whose physical unit this node shares, or
+     * -1. A live value that a block both reads and writes is served by a
+     * single LVU (the unit's configuration register holds one live-value
+     * ID, and the unit performs both the load and the store for it), so
+     * the write node aliases the read node's cell.
+     */
+    int aliasOf = -1;
+};
+
+/** Directed token edge between two nodes (indices into nodes). */
+struct DfgEdge
+{
+    int from = 0;
+    int to = 0;
+};
+
+/** A block's mapped dataflow graph. */
+struct Dfg
+{
+    std::vector<DfgNode> nodes;
+    std::vector<DfgEdge> edges;
+
+    /** Units required per kind for one replica of this graph. */
+    UnitCounts unitNeeds() const;
+
+    int numNodes() const { return int(nodes.size()); }
+};
+
+/**
+ * Build the mapped DFG for @p block. Nodes are emitted in a topological
+ * order (every edge goes from a lower to a higher node index).
+ */
+Dfg buildBlockDfg(const BasicBlock &block, const CgrfTiming &timing = {});
+
+} // namespace vgiw
+
+#endif // VGIW_CGRF_DATAFLOW_GRAPH_HH

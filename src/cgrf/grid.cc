@@ -1,0 +1,105 @@
+#include "cgrf/grid.hh"
+
+#include "common/logging.hh"
+
+namespace vgiw
+{
+
+const char *
+unitKindName(UnitKind k)
+{
+    switch (k) {
+      case UnitKind::FpAlu: return "fpu-alu";
+      case UnitKind::Scu: return "scu";
+      case UnitKind::LdSt: return "ldst";
+      case UnitKind::Lvu: return "lvu";
+      case UnitKind::Sju: return "sju";
+      case UnitKind::Cvu: return "cvu";
+    }
+    return "?";
+}
+
+GridConfig
+GridConfig::makeTable1()
+{
+    GridConfig g;
+    g.width = 12;
+    g.height = 9;
+    countOf(g.counts, UnitKind::FpAlu) = 32;
+    countOf(g.counts, UnitKind::Scu) = 12;
+    countOf(g.counts, UnitKind::LdSt) = 16;
+    countOf(g.counts, UnitKind::Lvu) = 16;
+    countOf(g.counts, UnitKind::Sju) = 16;
+    countOf(g.counts, UnitKind::Cvu) = 16;
+    vgiw_assert(totalUnits(g.counts) == g.numUnits(),
+                "unit counts must fill the grid");
+
+    // Split cells into perimeter and interior, preserving a scan order
+    // that spreads consecutive units of one kind across the grid.
+    std::vector<int> perimeter, interior;
+    for (int y = 0; y < g.height; ++y) {
+        for (int x = 0; x < g.width; ++x) {
+            const int cell = y * g.width + x;
+            const bool per = x == 0 || y == 0 || x == g.width - 1 ||
+                             y == g.height - 1;
+            (per ? perimeter : interior).push_back(cell);
+        }
+    }
+
+    g.kindAt.resize(size_t(g.numUnits()));
+    g.positions.resize(size_t(g.numUnits()));
+    for (int c = 0; c < g.numUnits(); ++c)
+        g.positions[c] = {c % g.width, c / g.width};
+
+    // Memory-facing units (LDST + LVU) occupy the perimeter, alternating
+    // so both reach all L1 / LVC banks with short crossbar runs.
+    size_t pi = 0;
+    for (int i = 0; i < countOf(g.counts, UnitKind::LdSt) +
+                        countOf(g.counts, UnitKind::Lvu); ++i) {
+        g.kindAt[perimeter[pi++]] =
+            (i % 2 == 0) ? UnitKind::LdSt : UnitKind::Lvu;
+    }
+    // CVUs next on the perimeter: they talk to the BBS at the grid edge.
+    int cvus_on_perimeter = 0;
+    while (pi < perimeter.size() &&
+           cvus_on_perimeter < countOf(g.counts, UnitKind::Cvu)) {
+        g.kindAt[perimeter[pi++]] = UnitKind::Cvu;
+        ++cvus_on_perimeter;
+    }
+
+    // Remaining kinds fill the interior (and any perimeter slack):
+    // interleave FPU-ALUs with SJUs and SCUs so compute clusters stay
+    // close to routing resources.
+    std::vector<UnitKind> rest;
+    rest.insert(rest.end(),
+                size_t(countOf(g.counts, UnitKind::Cvu)) - cvus_on_perimeter,
+                UnitKind::Cvu);
+    const int n_alu = countOf(g.counts, UnitKind::FpAlu);
+    const int n_sju = countOf(g.counts, UnitKind::Sju);
+    const int n_scu = countOf(g.counts, UnitKind::Scu);
+    int a = 0, s = 0, c = 0;
+    while (a < n_alu || s < n_sju || c < n_scu) {
+        if (a < n_alu) { rest.push_back(UnitKind::FpAlu); ++a; }
+        if (s < n_sju) { rest.push_back(UnitKind::Sju); ++s; }
+        if (a < n_alu) { rest.push_back(UnitKind::FpAlu); ++a; }
+        if (c < n_scu) { rest.push_back(UnitKind::Scu); ++c; }
+    }
+
+    size_t ri = 0;
+    while (pi < perimeter.size())
+        g.kindAt[perimeter[pi++]] = rest[ri++];
+    for (int cell : interior)
+        g.kindAt[cell] = rest[ri++];
+    vgiw_assert(ri == rest.size(), "layout accounting error");
+
+    // Sanity: per-kind totals match the declared counts.
+    UnitCounts check{};
+    for (auto k : g.kindAt)
+        ++countOf(check, k);
+    for (int i = 0; i < kNumUnitKinds; ++i)
+        vgiw_assert(check[i] == g.counts[i], "kind count mismatch");
+
+    return g;
+}
+
+} // namespace vgiw

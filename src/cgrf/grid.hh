@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The MT-CGRF grid: unit kinds, unit counts and physical layout.
+ *
+ * Table 1: a VGIW core has 108 interconnected units — 32 merged FPU-ALU
+ * compute units, 12 special compute units (SCU), 16 load/store units,
+ * 16 live-value units (LVU), 16 split/join units (SJU) and 16 control
+ * vector units (CVU). Load/store and live-value units sit on the grid
+ * perimeter next to the banked L1 / LVC crossbars (Section 3.5).
+ */
+
+#ifndef VGIW_CGRF_GRID_HH
+#define VGIW_CGRF_GRID_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vgiw
+{
+
+/** Kinds of functional unit in the MT-CGRF fabric. */
+enum class UnitKind : uint8_t
+{
+    FpAlu,  ///< merged FPU-ALU compute unit
+    Scu,    ///< special compute unit (non-pipelined circuits)
+    LdSt,   ///< load/store unit (perimeter)
+    Lvu,    ///< live-value load/store unit (perimeter)
+    Sju,    ///< split/join unit
+    Cvu,    ///< control vector unit (thread initiator / terminator)
+};
+
+constexpr int kNumUnitKinds = 6;
+
+const char *unitKindName(UnitKind k);
+
+/** Counts per unit kind, indexable by UnitKind. */
+using UnitCounts = std::array<int, kNumUnitKinds>;
+
+inline int &countOf(UnitCounts &c, UnitKind k)
+{ return c[std::size_t(k)]; }
+inline int countOf(const UnitCounts &c, UnitKind k)
+{ return c[std::size_t(k)]; }
+
+inline int
+totalUnits(const UnitCounts &c)
+{
+    int n = 0;
+    for (int v : c)
+        n += v;
+    return n;
+}
+
+/** A grid coordinate. */
+struct GridPos
+{
+    int x = 0;
+    int y = 0;
+};
+
+/** Static description of one MT-CGRF grid. */
+struct GridConfig
+{
+    int width = 12;
+    int height = 9;
+    UnitCounts counts{};                ///< units per kind
+    std::vector<UnitKind> kindAt;       ///< kind of the unit at each cell
+    std::vector<GridPos> positions;     ///< position of each cell index
+
+    int numUnits() const { return width * height; }
+
+    /**
+     * The Table 1 configuration: 12x9 grid, 32 FPU-ALU, 12 SCU, 16 LDST,
+     * 16 LVU, 16 SJU, 16 CVU, with memory-facing units on the perimeter.
+     */
+    static GridConfig makeTable1();
+};
+
+} // namespace vgiw
+
+#endif // VGIW_CGRF_GRID_HH

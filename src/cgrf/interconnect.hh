@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hop-distance model of the MT-CGRF interconnect.
+ *
+ * Section 3.5: each functional unit connects to its four nearest units
+ * and four nearest switches; switches additionally connect to the four
+ * switches at Manhattan distance two, and the topology is a folded
+ * hypercube, equalising perimeter connectivity via wrap links. We model
+ * the resulting routing latency as one cycle per hop, where a hop covers
+ * Manhattan distance two through the switch fabric (distance one for
+ * directly adjacent units), with toroidal wrap-around from the fold.
+ */
+
+#ifndef VGIW_CGRF_INTERCONNECT_HH
+#define VGIW_CGRF_INTERCONNECT_HH
+
+#include <cstdlib>
+
+#include "cgrf/grid.hh"
+
+namespace vgiw
+{
+
+/** Folded-hypercube-style interconnect distance oracle. */
+class Interconnect
+{
+  public:
+    explicit Interconnect(const GridConfig &grid)
+        : width_(grid.width), height_(grid.height)
+    {}
+
+    /**
+     * Cycles for a token to travel between two cells. Adjacent units
+     * (Manhattan distance 1) are one hop; switch-to-switch express links
+     * cover distance two per cycle; the fold wraps each axis.
+     */
+    int
+    hops(GridPos a, GridPos b) const
+    {
+        if (a.x == b.x && a.y == b.y)
+            return 0;
+        const int dx = wrapped(std::abs(a.x - b.x), width_);
+        const int dy = wrapped(std::abs(a.y - b.y), height_);
+        const int manhattan = dx + dy;
+        return (manhattan + 1) / 2;  // ceil(manhattan / 2), min 1
+    }
+
+    /** Convenience overload on linear cell indices. */
+    int
+    hops(int cell_a, int cell_b) const
+    {
+        return hops(GridPos{cell_a % width_, cell_a / width_},
+                    GridPos{cell_b % width_, cell_b / width_});
+    }
+
+  private:
+    static int
+    wrapped(int d, int extent)
+    {
+        return d < extent - d ? d : extent - d;
+    }
+
+    int width_;
+    int height_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_CGRF_INTERCONNECT_HH

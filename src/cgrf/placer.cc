@@ -1,0 +1,147 @@
+#include "cgrf/placer.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace vgiw
+{
+
+/** Mutable pool of unoccupied cells, bucketed by unit kind. */
+struct Placer::FreeCells
+{
+    std::array<std::vector<int>, kNumUnitKinds> byKind;
+
+    explicit FreeCells(const GridConfig &g)
+    {
+        for (int cell = 0; cell < g.numUnits(); ++cell)
+            byKind[size_t(g.kindAt[cell])].push_back(cell);
+    }
+
+    bool
+    canHost(const UnitCounts &needs) const
+    {
+        for (int k = 0; k < kNumUnitKinds; ++k)
+            if (int(byKind[k].size()) < needs[k])
+                return false;
+        return true;
+    }
+
+    /** Remove and return the cell at @p slot for @p kind. */
+    int
+    take(UnitKind kind, size_t slot)
+    {
+        auto &v = byKind[size_t(kind)];
+        int cell = v[slot];
+        v.erase(v.begin() + long(slot));
+        return cell;
+    }
+};
+
+Placer::Placer(const GridConfig &grid) : grid_(grid), net_(grid) {}
+
+bool
+Placer::placeOne(const Dfg &dfg, FreeCells &free, PlacedBlock &out) const
+{
+    if (!free.canHost(dfg.unitNeeds()))
+        return false;
+
+    // Predecessor lists (node order is topological by construction).
+    std::vector<std::vector<int>> preds(dfg.nodes.size());
+    for (const auto &e : dfg.edges)
+        preds[e.to].push_back(e.from);
+
+    // Greedy placement: each node takes the free cell of its kind that
+    // minimises total hop distance to its already-placed predecessors.
+    std::vector<int> cell_of(dfg.nodes.size(), -1);
+    for (size_t n = 0; n < dfg.nodes.size(); ++n) {
+        if (dfg.nodes[n].aliasOf >= 0) {
+            // Shares a physical unit with an earlier node.
+            cell_of[n] = cell_of[size_t(dfg.nodes[n].aliasOf)];
+            continue;
+        }
+        const UnitKind kind = dfg.nodes[n].unit;
+        const auto &candidates = free.byKind[size_t(kind)];
+        vgiw_assert(!candidates.empty(), "capacity pre-check failed");
+
+        size_t best_slot = 0;
+        long best_cost = std::numeric_limits<long>::max();
+        for (size_t s = 0; s < candidates.size(); ++s) {
+            long cost = 0;
+            for (int p : preds[n])
+                cost += net_.hops(cell_of[p], candidates[s]);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_slot = s;
+            }
+        }
+        cell_of[n] = free.take(kind, best_slot);
+    }
+
+    // Critical path: longest latency path through the placed graph with
+    // one cycle per interconnect hop on each edge.
+    std::vector<int> dist(dfg.nodes.size(), 0);
+    int critical = 0;
+    int total_hops = 0;
+    for (size_t n = 0; n < dfg.nodes.size(); ++n)
+        dist[n] = dfg.nodes[n].latency;
+    for (const auto &e : dfg.edges) {
+        const int hop = net_.hops(cell_of[e.from], cell_of[e.to]);
+        total_hops += hop;
+        dist[e.to] = std::max(dist[e.to],
+                              dist[e.from] + hop + dfg.nodes[e.to].latency);
+    }
+    for (size_t n = 0; n < dfg.nodes.size(); ++n)
+        critical = std::max(critical, dist[n]);
+
+    out.criticalPathCycles = std::max(out.criticalPathCycles, critical);
+    out.edgeHopsPerThread = std::max(out.edgeHopsPerThread, total_hops);
+    out.edgesPerThread = int(dfg.edges.size());
+    out.unitsUsed += totalUnits(dfg.unitNeeds());
+    return true;
+}
+
+PlacedBlock
+Placer::place(const Dfg &dfg, int max_replicas) const
+{
+    PlacedBlock out;
+    out.needsPerReplica = dfg.unitNeeds();
+    out.nodesPerReplica = dfg.numNodes();
+
+    FreeCells free(grid_);
+    for (int r = 0; r < max_replicas; ++r) {
+        if (!placeOne(dfg, free, out))
+            break;
+        ++out.replicas;
+    }
+    out.fits = out.replicas > 0;
+    return out;
+}
+
+PlacedKernel
+Placer::placeKernel(const std::vector<Dfg> &block_dfgs) const
+{
+    PlacedKernel out;
+    out.fits = true;
+
+    FreeCells free(grid_);
+    for (const auto &dfg : block_dfgs) {
+        PlacedBlock pb;
+        pb.needsPerReplica = dfg.unitNeeds();
+        pb.nodesPerReplica = dfg.numNodes();
+        for (int k = 0; k < kNumUnitKinds; ++k)
+            out.totalNeeds[k] += pb.needsPerReplica[k];
+        if (out.fits && placeOne(dfg, free, pb)) {
+            pb.fits = true;
+            pb.replicas = 1;
+            out.unitsUsed += pb.unitsUsed;
+        } else {
+            out.fits = false;
+        }
+        out.blocks.push_back(pb);
+    }
+    return out;
+}
+
+} // namespace vgiw

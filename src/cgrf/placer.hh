@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Greedy place-and-route of dataflow graphs onto the MT-CGRF grid, with
+ * basic-block replication (Section 3.1: "for small basic blocks, the
+ * compiler includes multiple replicas of a block's graph in the generated
+ * configuration" to maximise utilisation and thread-level parallelism).
+ */
+
+#ifndef VGIW_CGRF_PLACER_HH
+#define VGIW_CGRF_PLACER_HH
+
+#include <vector>
+
+#include "cgrf/dataflow_graph.hh"
+#include "cgrf/grid.hh"
+#include "cgrf/interconnect.hh"
+
+namespace vgiw
+{
+
+/** Result of placing one block (possibly replicated) on the grid. */
+struct PlacedBlock
+{
+    bool fits = false;        ///< at least one replica placed
+    int replicas = 0;
+    UnitCounts needsPerReplica{};
+    int nodesPerReplica = 0;
+    /** Longest latency path through one replica, including hop cycles. */
+    int criticalPathCycles = 0;
+    /** Total token-hop count per thread execution (energy proxy). */
+    int edgeHopsPerThread = 0;
+    int edgesPerThread = 0;
+    /** Units occupied over all replicas. */
+    int unitsUsed = 0;
+
+    double
+    utilization(int grid_units) const
+    {
+        return grid_units ? double(unitsUsed) / grid_units : 0.0;
+    }
+};
+
+/** Result of mapping an entire kernel spatially (the SGMF use case). */
+struct PlacedKernel
+{
+    bool fits = false;
+    std::vector<PlacedBlock> blocks;  ///< per-block placement (1 replica)
+    int unitsUsed = 0;
+    UnitCounts totalNeeds{};
+};
+
+/** Greedy wire-length-minimising placer. */
+class Placer
+{
+  public:
+    explicit Placer(const GridConfig &grid);
+
+    /**
+     * Place @p dfg with as many replicas as fit, up to @p max_replicas.
+     * Replication is bounded by per-kind unit capacity (each replica
+     * needs its own initiator + terminator CVU pair, so the Table 1 grid
+     * caps replication at 8).
+     */
+    PlacedBlock place(const Dfg &dfg, int max_replicas = 8) const;
+
+    /**
+     * Place every block of a kernel simultaneously (one replica each),
+     * sharing the grid — the SGMF whole-kernel static mapping. fits is
+     * false when the kernel exceeds the fabric's capacity.
+     */
+    PlacedKernel placeKernel(const std::vector<Dfg> &block_dfgs) const;
+
+    const GridConfig &grid() const { return grid_; }
+
+  private:
+    struct FreeCells;
+
+    /** Place one replica; returns false (untouched stats) if it fails. */
+    bool placeOne(const Dfg &dfg, FreeCells &free, PlacedBlock &out) const;
+
+    GridConfig grid_;
+    Interconnect net_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_CGRF_PLACER_HH

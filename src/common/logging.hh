@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (simulator bugs), fatal() for
+ * user errors that prevent the simulation from continuing, warn() and
+ * inform() for non-fatal status messages.
+ */
+
+#ifndef VGIW_COMMON_LOGGING_HH
+#define VGIW_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vgiw
+{
+
+namespace detail
+{
+
+/** Format a message from stream-able parts. */
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace vgiw
+
+/**
+ * Abort with a message. Use when something happens that should never
+ * happen regardless of user input, i.e. an internal bug.
+ */
+#define vgiw_panic(...) \
+    ::vgiw::detail::panicImpl(__FILE__, __LINE__, \
+                              ::vgiw::detail::formatMessage(__VA_ARGS__))
+
+/**
+ * Exit with a message. Use when the simulation cannot continue because of
+ * a user-level error (bad configuration, malformed kernel, ...).
+ */
+#define vgiw_fatal(...) \
+    ::vgiw::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::vgiw::detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning about questionable but survivable conditions. */
+#define vgiw_warn(...) \
+    ::vgiw::detail::warnImpl(::vgiw::detail::formatMessage(__VA_ARGS__))
+
+/** Informative status message. */
+#define vgiw_inform(...) \
+    ::vgiw::detail::informImpl(::vgiw::detail::formatMessage(__VA_ARGS__))
+
+/** Assert an invariant, panicking with a formatted message on failure. */
+#define vgiw_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            vgiw_panic("assertion failed: " #cond " ", \
+                       ::vgiw::detail::formatMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // VGIW_COMMON_LOGGING_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small, fast, deterministic PRNG (xorshift128+) used by the workload
+ * generators and property tests. Determinism across platforms matters more
+ * here than statistical sophistication: every experiment must be exactly
+ * reproducible.
+ */
+
+#ifndef VGIW_COMMON_RNG_HH
+#define VGIW_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace vgiw
+{
+
+/** Deterministic xorshift128+ generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding, as recommended by the xorshift authors.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ull;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t x = s0_;
+        const uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint32_t
+    nextUInt(uint32_t bound)
+    {
+        return uint32_t(next() % bound);
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    int32_t
+    nextInt(int32_t lo, int32_t hi)
+    {
+        return lo + int32_t(next() % (uint64_t(hi) - lo + 1));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return float(next() >> 40) / float(1 << 24);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextFloat(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(float p) { return nextFloat() < p; }
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_COMMON_RNG_HH

@@ -1,0 +1,17 @@
+#include "common/scalar.hh"
+
+namespace vgiw
+{
+
+const char *
+typeName(Type t)
+{
+    switch (t) {
+      case Type::I32: return "i32";
+      case Type::U32: return "u32";
+      case Type::F32: return "f32";
+    }
+    return "?";
+}
+
+} // namespace vgiw

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A 32-bit machine scalar with typed views. The VGIW fabric, like the
+ * GPGPU it replaces, moves 32-bit words between functional units; the
+ * interpretation (signed, unsigned, float) is a property of the consuming
+ * instruction, not of the value.
+ */
+
+#ifndef VGIW_COMMON_SCALAR_HH
+#define VGIW_COMMON_SCALAR_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace vgiw
+{
+
+/** Element types understood by the IR. */
+enum class Type : uint8_t { I32, U32, F32 };
+
+/** Return a short printable name for a type. */
+const char *typeName(Type t);
+
+/** An untyped 32-bit value with typed accessors. */
+struct Scalar
+{
+    uint32_t bits = 0;
+
+    Scalar() = default;
+    explicit constexpr Scalar(uint32_t raw) : bits(raw) {}
+
+    static constexpr Scalar fromI32(int32_t v)
+    { return Scalar(static_cast<uint32_t>(v)); }
+    static constexpr Scalar fromU32(uint32_t v) { return Scalar(v); }
+    static Scalar fromF32(float v)
+    { return Scalar(std::bit_cast<uint32_t>(v)); }
+
+    int32_t asI32() const { return static_cast<int32_t>(bits); }
+    uint32_t asU32() const { return bits; }
+    float asF32() const { return std::bit_cast<float>(bits); }
+
+    /** Branch conditions treat any non-zero word as true. */
+    bool asBool() const { return bits != 0; }
+
+    bool operator==(const Scalar &o) const { return bits == o.bits; }
+    bool operator!=(const Scalar &o) const { return bits != o.bits; }
+};
+
+} // namespace vgiw
+
+#endif // VGIW_COMMON_SCALAR_HH

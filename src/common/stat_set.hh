@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A tiny ordered statistics registry. Modules keep strongly-typed counter
+ * structs internally; StatSet is the common currency used by the driver to
+ * print reports and by tests to assert on behaviour without reaching into
+ * module internals.
+ */
+
+#ifndef VGIW_COMMON_STAT_SET_HH
+#define VGIW_COMMON_STAT_SET_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vgiw
+{
+
+/** Ordered collection of named numeric statistics. */
+class StatSet
+{
+  public:
+    /** Add @p value to the stat named @p name, creating it if needed. */
+    void
+    add(const std::string &name, double value)
+    {
+        for (auto &kv : stats_) {
+            if (kv.first == name) {
+                kv.second += value;
+                return;
+            }
+        }
+        stats_.emplace_back(name, value);
+    }
+
+    /** Overwrite the stat named @p name. */
+    void
+    set(const std::string &name, double value)
+    {
+        for (auto &kv : stats_) {
+            if (kv.first == name) {
+                kv.second = value;
+                return;
+            }
+        }
+        stats_.emplace_back(name, value);
+    }
+
+    /** Value of @p name, or 0 if absent. */
+    double
+    get(const std::string &name) const
+    {
+        for (const auto &kv : stats_)
+            if (kv.first == name)
+                return kv.second;
+        return 0.0;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        for (const auto &kv : stats_)
+            if (kv.first == name)
+                return true;
+        return false;
+    }
+
+    /** Merge another StatSet into this one (summing shared names). */
+    void
+    merge(const StatSet &o)
+    {
+        for (const auto &kv : o.stats_)
+            add(kv.first, kv.second);
+    }
+
+    const std::vector<std::pair<std::string, double>> &
+    entries() const
+    {
+        return stats_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> stats_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_COMMON_STAT_SET_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The common result record every core model produces. The bench harnesses
+ * compare RunStats across architectures to regenerate the paper's tables
+ * and figures.
+ */
+
+#ifndef VGIW_DRIVER_RUN_STATS_HH
+#define VGIW_DRIVER_RUN_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stat_set.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "power/energy_model.hh"
+
+namespace vgiw
+{
+
+/** Result of running one kernel launch on one core model. */
+struct RunStats
+{
+    std::string arch;        ///< "vgiw", "fermi" or "sgmf"
+    std::string kernelName;
+    /** SGMF cannot map kernels larger than its fabric. */
+    bool supported = true;
+
+    uint64_t cycles = 0;
+    uint64_t configCycles = 0;  ///< included in cycles (VGIW/SGMF)
+    uint64_t reconfigs = 0;
+
+    uint64_t dynBlockExecs = 0;  ///< thread-level block executions
+    uint64_t dynThreadOps = 0;   ///< per-thread dynamic operations
+    uint64_t dynWarpInstrs = 0;  ///< warp-level instructions (Fermi)
+
+    /** Register-file accesses, one per warp operand (Fermi, Fig. 3). */
+    uint64_t rfAccesses = 0;
+    /** LVC word accesses (VGIW, Fig. 3). */
+    uint64_t lvcAccesses = 0;
+
+    EnergyAccount energy;
+    CacheStats l1Stats;
+    CacheStats l2Stats;
+    CacheStats lvcStats;
+    DramStats dramStats;
+
+    /** Free-form per-architecture extras (utilisation, replicas, ...). */
+    StatSet extra;
+
+    double
+    configOverheadFraction() const
+    {
+        return cycles ? double(configCycles) / double(cycles) : 0.0;
+    }
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_RUN_STATS_HH

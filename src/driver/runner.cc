@@ -1,0 +1,51 @@
+#include "driver/runner.hh"
+
+#include "common/logging.hh"
+#include "interp/interpreter.hh"
+
+namespace vgiw
+{
+
+TraceSet
+Runner::trace(const WorkloadInstance &w, bool *golden_ok,
+              std::string *golden_err) const
+{
+    MemoryImage mem = w.memory;  // keep the instance reusable
+    TraceSet traces = Interpreter{}.run(w.kernel, w.launch, mem);
+
+    if (w.check) {
+        std::string err;
+        const bool ok = w.check(mem, err);
+        if (golden_ok)
+            *golden_ok = ok;
+        if (golden_err)
+            *golden_err = err;
+        if (!ok && !golden_ok) {
+            vgiw_fatal("workload '", w.fullName(),
+                       "' failed its golden check: ", err);
+        }
+    } else if (golden_ok) {
+        *golden_ok = true;
+    }
+    return traces;
+}
+
+ArchComparison
+Runner::compare(const WorkloadInstance &w) const
+{
+    ArchComparison out;
+    out.workload = w.fullName();
+
+    TraceSet traces = trace(w, &out.goldenPassed, &out.goldenError);
+    if (!out.goldenPassed) {
+        vgiw_fatal("workload '", w.fullName(),
+                   "' failed its golden check: ", out.goldenError);
+    }
+
+    out.vgiw = VgiwCore(cfg_.vgiw).run(traces);
+    out.fermi = FermiCore(cfg_.fermi).run(traces);
+    out.sgmf = SgmfCore(cfg_.sgmf).run(traces);
+    return out;
+}
+
+} // namespace vgiw

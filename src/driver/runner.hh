@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The experiment driver: functionally executes a workload once (producing
+ * traces and validating against the golden reference), then replays the
+ * traces on each core model. Because all architectures replay the same
+ * traces, every comparison is on bit-identical work — the paper's
+ * "total energy required to do the work" methodology (Section 5).
+ */
+
+#ifndef VGIW_DRIVER_RUNNER_HH
+#define VGIW_DRIVER_RUNNER_HH
+
+#include <string>
+
+#include "driver/run_stats.hh"
+#include "driver/system_config.hh"
+#include "interp/trace.hh"
+#include "workloads/workload.hh"
+
+namespace vgiw
+{
+
+/** Results of one workload on all three architectures. */
+struct ArchComparison
+{
+    std::string workload;
+    bool goldenPassed = false;
+    std::string goldenError;
+
+    RunStats vgiw;
+    RunStats fermi;
+    RunStats sgmf;  ///< supported == false when SGMF cannot map it
+
+    double
+    speedupVsFermi() const
+    {
+        return vgiw.cycles ? double(fermi.cycles) / double(vgiw.cycles)
+                           : 0.0;
+    }
+
+    double
+    speedupVsSgmf() const
+    {
+        return sgmf.supported && vgiw.cycles
+                   ? double(sgmf.cycles) / double(vgiw.cycles)
+                   : 0.0;
+    }
+
+    /** Work/energy ratio vs Fermi (same work => inverse energy ratio). */
+    double
+    energyEfficiencyVsFermi() const
+    {
+        const double v = vgiw.energy.systemPj();
+        return v > 0 ? fermi.energy.systemPj() / v : 0.0;
+    }
+
+    double
+    energyEfficiencyVsSgmf() const
+    {
+        const double v = vgiw.energy.systemPj();
+        return sgmf.supported && v > 0 ? sgmf.energy.systemPj() / v : 0.0;
+    }
+
+    /**
+     * LVC accesses as a fraction of GPGPU RF accesses (Fig. 3). Both
+     * sides are normalised to thread-word traffic: one vector RF access
+     * delivers 32 threads' operands while one LVC access delivers a
+     * single word, so the RF count (one access per warp, the paper's
+     * counting rule) is scaled by the warp width.
+     */
+    double
+    lvcToRfRatio() const
+    {
+        return fermi.rfAccesses
+                   ? double(vgiw.lvcAccesses) /
+                         (32.0 * double(fermi.rfAccesses))
+                   : 0.0;
+    }
+};
+
+/** Runs workloads across the three core models. */
+class Runner
+{
+  public:
+    explicit Runner(const SystemConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Functionally execute @p w; the traces drive the core models. */
+    TraceSet trace(const WorkloadInstance &w, bool *golden_ok = nullptr,
+                   std::string *golden_err = nullptr) const;
+
+    /** Full three-architecture comparison for @p w. */
+    ArchComparison compare(const WorkloadInstance &w) const;
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_RUNNER_HH

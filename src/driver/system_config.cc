@@ -1,0 +1,45 @@
+#include "driver/system_config.hh"
+
+#include <ostream>
+
+#include "mem/memory_system.hh"
+
+namespace vgiw
+{
+
+void
+SystemConfig::printTable1(std::ostream &os) const
+{
+    const GridConfig &g = vgiw.grid;
+    os << "Table 1: VGIW system configuration\n";
+    os << "  VGIW core        : " << g.numUnits()
+       << " interconnected func./LDST/control units (" << g.width << "x"
+       << g.height << " grid)\n";
+    os << "  Functional units : " << countOf(g.counts, UnitKind::FpAlu)
+       << " combined FPU-ALU units, " << countOf(g.counts, UnitKind::Scu)
+       << " Special Compute units\n";
+    os << "  Load/Store units : " << countOf(g.counts, UnitKind::Lvu)
+       << " Live Value Units, " << countOf(g.counts, UnitKind::LdSt)
+       << " regular LDST units\n";
+    os << "  Control units    : " << countOf(g.counts, UnitKind::Sju)
+       << " Split/Join units, " << countOf(g.counts, UnitKind::Cvu)
+       << " Control Vector Units\n";
+    os << "  Frequency [GHz]  : core " << coreGhz << ", interconnect "
+       << interconnectGhz << ", L2 " << l2Ghz << ", DRAM " << dramGhz
+       << "\n";
+    const CacheGeometry l1 = vgiwL1Geometry();
+    os << "  L1               : " << l1.sizeBytes / 1024 << "KB, "
+       << l1.banks << " banks, " << l1.lineBytes << "B/line, " << l1.ways
+       << "-way (write-back, write-allocate)\n";
+    const CacheGeometry l2 = l2Geometry();
+    os << "  L2               : " << l2.sizeBytes / 1024 << "KB, "
+       << l2.banks << " banks, " << l2.lineBytes << "B/line, " << l2.ways
+       << "-way\n";
+    const DramConfig d;
+    os << "  GDDR5 DRAM       : " << d.banksPerChannel << " banks, "
+       << d.channels << " channels\n";
+    os << "  LVC              : " << vgiw.lvcBytes / 1024
+       << "KB (4x smaller than the Fermi register file)\n";
+}
+
+} // namespace vgiw

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Top-level system configuration (Table 1) shared by the bench harnesses:
+ * clock domains plus the per-architecture core configurations. The VGIW
+ * and Fermi processors share the uncore (L2, DRAM); the cores differ.
+ */
+
+#ifndef VGIW_DRIVER_SYSTEM_CONFIG_HH
+#define VGIW_DRIVER_SYSTEM_CONFIG_HH
+
+#include <iosfwd>
+
+#include "sgmf/sgmf_core.hh"
+#include "simt/fermi_core.hh"
+#include "vgiw/vgiw_core.hh"
+
+namespace vgiw
+{
+
+/** Clock domains and core configurations (Table 1). */
+struct SystemConfig
+{
+    double coreGhz = 1.4;
+    double interconnectGhz = 1.4;
+    double l2Ghz = 0.7;
+    double dramGhz = 0.924;
+
+    VgiwConfig vgiw{};
+    FermiConfig fermi{};
+    SgmfConfig sgmf{};
+
+    /** Print the Table 1 configuration summary. */
+    void printTable1(std::ostream &os) const;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_SYSTEM_CONFIG_HH

@@ -1,0 +1,327 @@
+#include "interp/interpreter.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/bit_vector.hh"
+#include "common/logging.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+/** Evaluate a non-memory operation. Integer div/rem by zero yields 0. */
+Scalar
+evalOp(const Instr &in, Scalar a, Scalar b, Scalar c)
+{
+    const Type t = in.type;
+    auto boolean = [](bool v) { return Scalar::fromU32(v ? 1 : 0); };
+    switch (in.op) {
+      case Opcode::Add:
+        if (t == Type::F32) return Scalar::fromF32(a.asF32() + b.asF32());
+        return Scalar::fromU32(a.asU32() + b.asU32());
+      case Opcode::Sub:
+        if (t == Type::F32) return Scalar::fromF32(a.asF32() - b.asF32());
+        return Scalar::fromU32(a.asU32() - b.asU32());
+      case Opcode::Mul:
+        if (t == Type::F32) return Scalar::fromF32(a.asF32() * b.asF32());
+        return Scalar::fromU32(a.asU32() * b.asU32());
+      case Opcode::Min:
+        if (t == Type::F32)
+            return Scalar::fromF32(std::fmin(a.asF32(), b.asF32()));
+        if (t == Type::I32)
+            return Scalar::fromI32(std::min(a.asI32(), b.asI32()));
+        return Scalar::fromU32(std::min(a.asU32(), b.asU32()));
+      case Opcode::Max:
+        if (t == Type::F32)
+            return Scalar::fromF32(std::fmax(a.asF32(), b.asF32()));
+        if (t == Type::I32)
+            return Scalar::fromI32(std::max(a.asI32(), b.asI32()));
+        return Scalar::fromU32(std::max(a.asU32(), b.asU32()));
+      case Opcode::Neg:
+        if (t == Type::F32) return Scalar::fromF32(-a.asF32());
+        return Scalar::fromU32(0u - a.asU32());
+      case Opcode::Abs:
+        if (t == Type::F32) return Scalar::fromF32(std::fabs(a.asF32()));
+        return Scalar::fromI32(std::abs(a.asI32()));
+      case Opcode::And: return Scalar::fromU32(a.asU32() & b.asU32());
+      case Opcode::Or: return Scalar::fromU32(a.asU32() | b.asU32());
+      case Opcode::Xor: return Scalar::fromU32(a.asU32() ^ b.asU32());
+      case Opcode::Not: return Scalar::fromU32(~a.asU32());
+      case Opcode::Shl: return Scalar::fromU32(a.asU32() << (b.asU32() & 31));
+      case Opcode::Shr:
+        if (t == Type::I32)
+            return Scalar::fromI32(a.asI32() >> (b.asU32() & 31));
+        return Scalar::fromU32(a.asU32() >> (b.asU32() & 31));
+      case Opcode::CmpEq:
+        if (t == Type::F32) return boolean(a.asF32() == b.asF32());
+        return boolean(a.asU32() == b.asU32());
+      case Opcode::CmpNe:
+        if (t == Type::F32) return boolean(a.asF32() != b.asF32());
+        return boolean(a.asU32() != b.asU32());
+      case Opcode::CmpLt:
+        if (t == Type::F32) return boolean(a.asF32() < b.asF32());
+        if (t == Type::I32) return boolean(a.asI32() < b.asI32());
+        return boolean(a.asU32() < b.asU32());
+      case Opcode::CmpLe:
+        if (t == Type::F32) return boolean(a.asF32() <= b.asF32());
+        if (t == Type::I32) return boolean(a.asI32() <= b.asI32());
+        return boolean(a.asU32() <= b.asU32());
+      case Opcode::CmpGt:
+        if (t == Type::F32) return boolean(a.asF32() > b.asF32());
+        if (t == Type::I32) return boolean(a.asI32() > b.asI32());
+        return boolean(a.asU32() > b.asU32());
+      case Opcode::CmpGe:
+        if (t == Type::F32) return boolean(a.asF32() >= b.asF32());
+        if (t == Type::I32) return boolean(a.asI32() >= b.asI32());
+        return boolean(a.asU32() >= b.asU32());
+      case Opcode::Select: return a.asBool() ? b : c;
+      case Opcode::Div:
+        if (t == Type::F32) return Scalar::fromF32(a.asF32() / b.asF32());
+        if (t == Type::I32) {
+            return Scalar::fromI32(
+                b.asI32() == 0 ? 0 : a.asI32() / b.asI32());
+        }
+        return Scalar::fromU32(b.asU32() == 0 ? 0 : a.asU32() / b.asU32());
+      case Opcode::Rem:
+        if (t == Type::F32)
+            return Scalar::fromF32(std::fmod(a.asF32(), b.asF32()));
+        if (t == Type::I32) {
+            return Scalar::fromI32(
+                b.asI32() == 0 ? 0 : a.asI32() % b.asI32());
+        }
+        return Scalar::fromU32(b.asU32() == 0 ? 0 : a.asU32() % b.asU32());
+      case Opcode::Sqrt: return Scalar::fromF32(std::sqrt(a.asF32()));
+      case Opcode::Rsqrt:
+        return Scalar::fromF32(1.0f / std::sqrt(a.asF32()));
+      case Opcode::Exp: return Scalar::fromF32(std::exp(a.asF32()));
+      case Opcode::Log: return Scalar::fromF32(std::log(a.asF32()));
+      case Opcode::Sin: return Scalar::fromF32(std::sin(a.asF32()));
+      case Opcode::Cos: return Scalar::fromF32(std::cos(a.asF32()));
+      case Opcode::I2F: return Scalar::fromF32(float(a.asI32()));
+      case Opcode::U2F: return Scalar::fromF32(float(a.asU32()));
+      case Opcode::F2I: return Scalar::fromI32(int32_t(a.asF32()));
+      case Opcode::F2U: return Scalar::fromU32(uint32_t(a.asF32()));
+      default:
+        vgiw_panic("evalOp on unexpected opcode ", opcodeName(in.op));
+    }
+}
+
+/** Per-thread architectural state between block executions. */
+struct ThreadState
+{
+    std::vector<Scalar> liveVals;
+    bool exited = false;
+};
+
+} // namespace
+
+TraceSet
+Interpreter::run(const Kernel &k, const LaunchParams &launch,
+                 MemoryImage &mem) const
+{
+    vgiw_assert(int(launch.params.size()) == k.numParams,
+                "kernel '", k.name, "' expects ", k.numParams,
+                " params, launch provides ", launch.params.size());
+
+    const int num_threads = launch.numThreads();
+    const int num_blocks = k.numBlocks();
+
+    TraceSet out;
+    out.kernel = &k;
+    out.launch = launch;
+    out.threads.resize(num_threads);
+
+    std::vector<ThreadState> state(num_threads);
+    for (auto &s : state)
+        s.liveVals.assign(size_t(k.numLiveValues), Scalar{});
+
+    // Per-CTA scratchpads (shared memory).
+    const uint32_t shared_words = uint32_t(k.sharedBytesPerCta + 3) / 4;
+    std::vector<std::vector<uint32_t>> shared(
+        launch.numCtas, std::vector<uint32_t>(shared_words, 0));
+
+    // Pending thread vectors, one per block; all threads start on block 0.
+    std::vector<BitVector> pending;
+    pending.reserve(num_blocks);
+    for (int b = 0; b < num_blocks; ++b)
+        pending.emplace_back(size_t(num_threads));
+    pending[0].setFirstN(size_t(num_threads));
+
+    // Barrier bookkeeping. A pool collects the threads of one CTA that
+    // arrived at one barrier-terminated block; it releases (each thread to
+    // its own successor, which may differ under a divergent-but-uniformly-
+    // synchronised loop) once every live thread of the CTA has arrived.
+    std::vector<int> live_in_cta(launch.numCtas, launch.ctaSize);
+    struct BarrierPool
+    {
+        std::vector<std::pair<uint32_t, int>> arrivals;  // (tid, succ)
+    };
+    // Keyed by cta * num_blocks + barrier block id.
+    std::vector<BarrierPool> pools(size_t(launch.numCtas) * num_blocks);
+    int waiting_threads = 0;
+
+    auto release_ready_pools = [&](int cta) {
+        for (int b = 0; b < num_blocks; ++b) {
+            BarrierPool &p = pools[size_t(cta) * num_blocks + b];
+            if (!p.arrivals.empty() &&
+                int(p.arrivals.size()) == live_in_cta[cta]) {
+                for (auto [tid, succ] : p.arrivals)
+                    pending[succ].set(tid);
+                waiting_threads -= int(p.arrivals.size());
+                p.arrivals.clear();
+            }
+        }
+    };
+
+    std::vector<Scalar> locals;
+    uint64_t total_execs = 0;
+
+    while (true) {
+        int next = -1;
+        for (int b = 0; b < num_blocks; ++b) {
+            if (pending[b].any()) {
+                next = b;
+                break;
+            }
+        }
+        if (next < 0) {
+            if (waiting_threads > 0) {
+                vgiw_fatal("kernel '", k.name, "': barrier deadlock, ",
+                           waiting_threads, " threads waiting");
+            }
+            break;
+        }
+
+        const BasicBlock &blk = k.blocks[next];
+        const auto tids = pending[next].toIndices();
+        pending[next].reset();
+
+        for (uint32_t tid : tids) {
+            ThreadState &ts = state[tid];
+            ThreadTrace &tr = out.threads[tid];
+            const int cta = int(tid) / launch.ctaSize;
+
+            if (++total_execs > opts_.maxBlockExecs) {
+                vgiw_fatal("kernel '", k.name,
+                           "' exceeded max dynamic block executions");
+            }
+
+            BlockExec exec;
+            exec.block = uint16_t(next);
+            exec.accessBegin = uint32_t(tr.accesses.size());
+
+            locals.assign(blk.instrs.size(), Scalar{});
+            auto read = [&](const Operand &o) -> Scalar {
+                switch (o.kind) {
+                  case OperandKind::Local: return locals[o.index];
+                  case OperandKind::LiveIn: return ts.liveVals[o.index];
+                  case OperandKind::Const: return o.constant;
+                  case OperandKind::Param:
+                    return launch.params[o.index];
+                  case OperandKind::Special:
+                    switch (o.specialReg()) {
+                      case SpecialReg::Tid:
+                        return Scalar::fromU32(tid);
+                      case SpecialReg::TidInCta:
+                        return Scalar::fromU32(tid % launch.ctaSize);
+                      case SpecialReg::CtaId:
+                        return Scalar::fromU32(uint32_t(cta));
+                      case SpecialReg::CtaSize:
+                        return Scalar::fromU32(uint32_t(launch.ctaSize));
+                      case SpecialReg::NumCtas:
+                        return Scalar::fromU32(uint32_t(launch.numCtas));
+                      case SpecialReg::NumThreads:
+                        return Scalar::fromU32(uint32_t(num_threads));
+                    }
+                    vgiw_panic("bad special reg");
+                  case OperandKind::None:
+                    // Unused operand slot (arity < 3); the verifier has
+                    // already checked that real operands are present.
+                    return Scalar{};
+                }
+                vgiw_panic("bad operand kind");
+            };
+
+            for (size_t i = 0; i < blk.instrs.size(); ++i) {
+                const Instr &in = blk.instrs[i];
+                if (in.op == Opcode::Load) {
+                    const uint32_t addr = read(in.src[0]).asU32();
+                    uint32_t word;
+                    if (in.space == MemSpace::Shared) {
+                        vgiw_assert(addr / 4 < shared_words,
+                                    "shared load out of range @", addr,
+                                    " in kernel ", k.name);
+                        word = shared[cta][addr / 4];
+                    } else {
+                        word = mem.loadWord(addr);
+                    }
+                    locals[i] = Scalar(word);
+                    if (opts_.recordTraces) {
+                        tr.accesses.push_back(
+                            {addr, false, in.space == MemSpace::Shared});
+                    }
+                } else if (in.op == Opcode::Store) {
+                    const uint32_t addr = read(in.src[0]).asU32();
+                    const Scalar val = read(in.src[1]);
+                    if (in.space == MemSpace::Shared) {
+                        vgiw_assert(addr / 4 < shared_words,
+                                    "shared store out of range @", addr,
+                                    " in kernel ", k.name);
+                        shared[cta][addr / 4] = val.bits;
+                    } else {
+                        mem.storeWord(addr, val.bits);
+                    }
+                    if (opts_.recordTraces) {
+                        tr.accesses.push_back(
+                            {addr, true, in.space == MemSpace::Shared});
+                    }
+                } else {
+                    locals[i] = evalOp(in, read(in.src[0]),
+                                       read(in.src[1]), read(in.src[2]));
+                }
+            }
+
+            for (const auto &lo : blk.liveOuts)
+                ts.liveVals[lo.lvid] = read(lo.value);
+
+            // Terminator.
+            int succ = -1;
+            switch (blk.term.kind) {
+              case TermKind::Jump:
+                succ = blk.term.target[0];
+                break;
+              case TermKind::Branch:
+                succ = read(blk.term.cond).asBool() ? blk.term.target[0]
+                                                    : blk.term.target[1];
+                break;
+              case TermKind::Exit:
+                succ = -1;
+                break;
+            }
+
+            exec.succ = int16_t(succ);
+            exec.accessEnd = uint32_t(tr.accesses.size());
+            tr.execs.push_back(exec);
+
+            if (succ < 0) {
+                ts.exited = true;
+                --live_in_cta[cta];
+                release_ready_pools(cta);
+            } else if (blk.term.barrier) {
+                BarrierPool &p = pools[size_t(cta) * num_blocks + next];
+                p.arrivals.emplace_back(tid, succ);
+                ++waiting_threads;
+                release_ready_pools(cta);
+            } else {
+                pending[succ].set(tid);
+            }
+        }
+    }
+
+    return out;
+}
+
+} // namespace vgiw

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Functional executor for VGIW kernels.
+ *
+ * Execution follows the abstract VGIW machine of Section 2: every thread
+ * starts pending on block 0; the machine repeatedly picks the smallest
+ * block ID with pending threads and executes the block for all of them,
+ * each completing thread registering itself on its successor block. This
+ * is simultaneously the functional reference for correctness tests and the
+ * producer of the dynamic traces all timing models replay.
+ */
+
+#ifndef VGIW_INTERP_INTERPRETER_HH
+#define VGIW_INTERP_INTERPRETER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/memory_image.hh"
+#include "interp/trace.hh"
+#include "ir/kernel.hh"
+
+namespace vgiw
+{
+
+/** Options controlling functional execution. */
+struct InterpOptions
+{
+    /** Abort if a single launch exceeds this many dynamic block execs. */
+    uint64_t maxBlockExecs = 64ull << 20;
+    /** Record memory accesses in the traces (off saves memory). */
+    bool recordTraces = true;
+};
+
+/** Functional executor / abstract VGIW machine. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(InterpOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Execute @p kernel with @p launch against @p mem (updated in place).
+     * Returns the per-thread traces.
+     */
+    TraceSet run(const Kernel &kernel, const LaunchParams &launch,
+                 MemoryImage &mem) const;
+
+  private:
+    InterpOptions opts_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_INTERP_INTERPRETER_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A flat, word-addressed global-memory image used by the functional
+ * executor and the workload generators. Provides a bump allocator so a
+ * workload can lay out its buffers and pass base addresses as kernel
+ * parameters, exactly as a CUDA host program would after cudaMalloc.
+ */
+
+#ifndef VGIW_INTERP_MEMORY_IMAGE_HH
+#define VGIW_INTERP_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/scalar.hh"
+
+namespace vgiw
+{
+
+/** Byte-addressed (word-aligned) global memory. */
+class MemoryImage
+{
+  public:
+    /** Construct with @p capacity_bytes of zeroed memory. */
+    explicit MemoryImage(uint32_t capacity_bytes = 16u << 20)
+        : words_((capacity_bytes + 3) / 4, 0)
+    {}
+
+    uint32_t sizeBytes() const { return uint32_t(words_.size()) * 4; }
+
+    /**
+     * Allocate @p num_words 32-bit words, aligned to a 128-byte cache
+     * line (matching cudaMalloc's alignment guarantees that the
+     * benchmarks' coalescing behaviour depends on). Returns the byte
+     * address of the allocation.
+     */
+    uint32_t
+    allocWords(uint32_t num_words)
+    {
+        brk_ = (brk_ + 127u) & ~127u;
+        uint32_t addr = brk_;
+        brk_ += num_words * 4;
+        vgiw_assert(brk_ <= sizeBytes(), "memory image exhausted");
+        return addr;
+    }
+
+    uint32_t
+    loadWord(uint32_t byte_addr) const
+    {
+        vgiw_assert((byte_addr & 3) == 0, "unaligned load @", byte_addr);
+        vgiw_assert(byte_addr < sizeBytes(), "load out of range @",
+                    byte_addr);
+        return words_[byte_addr / 4];
+    }
+
+    void
+    storeWord(uint32_t byte_addr, uint32_t value)
+    {
+        vgiw_assert((byte_addr & 3) == 0, "unaligned store @", byte_addr);
+        vgiw_assert(byte_addr < sizeBytes(), "store out of range @",
+                    byte_addr);
+        words_[byte_addr / 4] = value;
+    }
+
+    // Typed element helpers: element @p idx of the array at @p base.
+    float
+    loadF32(uint32_t base, uint32_t idx) const
+    {
+        return Scalar(loadWord(base + idx * 4)).asF32();
+    }
+
+    int32_t
+    loadI32(uint32_t base, uint32_t idx) const
+    {
+        return Scalar(loadWord(base + idx * 4)).asI32();
+    }
+
+    uint32_t
+    loadU32(uint32_t base, uint32_t idx) const
+    {
+        return loadWord(base + idx * 4);
+    }
+
+    void
+    storeF32(uint32_t base, uint32_t idx, float v)
+    {
+        storeWord(base + idx * 4, Scalar::fromF32(v).bits);
+    }
+
+    void
+    storeI32(uint32_t base, uint32_t idx, int32_t v)
+    {
+        storeWord(base + idx * 4, Scalar::fromI32(v).bits);
+    }
+
+    void
+    storeU32(uint32_t base, uint32_t idx, uint32_t v)
+    {
+        storeWord(base + idx * 4, v);
+    }
+
+  private:
+    std::vector<uint32_t> words_;
+    uint32_t brk_ = 128;  // keep address 0 unused to catch null derefs
+};
+
+} // namespace vgiw
+
+#endif // VGIW_INTERP_MEMORY_IMAGE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-thread dynamic execution traces.
+ *
+ * The functional executor records, for every thread, the sequence of basic
+ * blocks it executed and the memory accesses each execution issued. All
+ * three timing models (VGIW, Fermi-SIMT, SGMF) replay these traces, which
+ * guarantees that the architectures are compared on bit-identical work.
+ */
+
+#ifndef VGIW_INTERP_TRACE_HH
+#define VGIW_INTERP_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/kernel.hh"
+
+namespace vgiw
+{
+
+/** One dynamic memory access. */
+struct MemAccess
+{
+    uint32_t addr = 0;     ///< byte address (scratchpad-relative if shared)
+    bool isStore = false;
+    bool isShared = false;
+};
+
+/** One dynamic execution of a basic block by one thread. */
+struct BlockExec
+{
+    uint16_t block = 0;
+    int16_t succ = -1;  ///< next block id, or -1 when the thread exits
+    uint32_t accessBegin = 0;  ///< range into ThreadTrace::accesses
+    uint32_t accessEnd = 0;
+};
+
+/** The full dynamic trace of one thread. */
+struct ThreadTrace
+{
+    std::vector<BlockExec> execs;
+    std::vector<MemAccess> accesses;
+};
+
+/**
+ * Traces for every thread of a launch, plus launch metadata.
+ *
+ * @warning TraceSet borrows the kernel: the Kernel object passed to
+ * Interpreter::run() (e.g. the WorkloadInstance that owns it) must
+ * outlive every use of the traces by the core models.
+ */
+struct TraceSet
+{
+    const Kernel *kernel = nullptr;
+    LaunchParams launch;
+    std::vector<ThreadTrace> threads;
+
+    /** Total dynamic block executions over all threads. */
+    uint64_t
+    totalBlockExecs() const
+    {
+        uint64_t n = 0;
+        for (const auto &t : threads)
+            n += t.execs.size();
+        return n;
+    }
+
+    /** Total dynamic memory accesses over all threads. */
+    uint64_t
+    totalAccesses() const
+    {
+        uint64_t n = 0;
+        for (const auto &t : threads)
+            n += t.accesses.size();
+        return n;
+    }
+
+    /** Dynamic executions of block @p b summed over threads. */
+    uint64_t
+    blockExecCount(int b) const
+    {
+        uint64_t n = 0;
+        for (const auto &t : threads)
+            for (const auto &e : t.execs)
+                if (e.block == b)
+                    ++n;
+        return n;
+    }
+};
+
+} // namespace vgiw
+
+#endif // VGIW_INTERP_TRACE_HH

@@ -1,0 +1,185 @@
+#include "ir/builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "ir/verifier.hh"
+
+namespace vgiw
+{
+
+Operand
+BlockRef::op(Opcode o, Type t, Operand a, Operand b, Operand c)
+{
+    vgiw_assert(!opcodeIsMemory(o), "use load()/store() for memory ops");
+    BasicBlock &blk = kb_->blockAt(index_);
+    Instr in;
+    in.op = o;
+    in.type = t;
+    in.src = {a, b, c};
+    blk.instrs.push_back(in);
+    return Operand::local(uint16_t(blk.instrs.size() - 1));
+}
+
+Operand
+BlockRef::memOp(Opcode o, Type t, MemSpace space, Operand a, Operand b)
+{
+    BasicBlock &blk = kb_->blockAt(index_);
+    Instr in;
+    in.op = o;
+    in.type = t;
+    in.space = space;
+    in.src = {a, b, Operand{}};
+    blk.instrs.push_back(in);
+    return Operand::local(uint16_t(blk.instrs.size() - 1));
+}
+
+void
+BlockRef::out(uint16_t lvid, Operand value)
+{
+    kb_->blockAt(index_).liveOuts.push_back(LiveOut{lvid, value});
+}
+
+void
+BlockRef::jump(BlockRef target, bool barrier)
+{
+    BasicBlock &blk = kb_->blockAt(index_);
+    blk.term.kind = TermKind::Jump;
+    blk.term.target[0] = target.index();
+    blk.term.target[1] = -1;
+    blk.term.barrier = barrier;
+    kb_->terminated_[index_] = true;
+}
+
+void
+BlockRef::branch(Operand cond, BlockRef if_true, BlockRef if_false,
+                 bool barrier)
+{
+    BasicBlock &blk = kb_->blockAt(index_);
+    blk.term.kind = TermKind::Branch;
+    blk.term.cond = cond;
+    blk.term.target[0] = if_true.index();
+    blk.term.target[1] = if_false.index();
+    blk.term.barrier = barrier;
+    kb_->terminated_[index_] = true;
+}
+
+void
+BlockRef::exit()
+{
+    BasicBlock &blk = kb_->blockAt(index_);
+    blk.term.kind = TermKind::Exit;
+    blk.term.target[0] = blk.term.target[1] = -1;
+    kb_->terminated_[index_] = true;
+}
+
+KernelBuilder::KernelBuilder(std::string name, int num_params)
+{
+    kernel_.name = std::move(name);
+    kernel_.numParams = num_params;
+}
+
+BlockRef
+KernelBuilder::block(std::string name)
+{
+    vgiw_assert(!finished_, "builder already finished");
+    kernel_.blocks.emplace_back();
+    kernel_.blocks.back().name = std::move(name);
+    terminated_.push_back(false);
+    return BlockRef(this, int(kernel_.blocks.size()) - 1);
+}
+
+uint16_t
+KernelBuilder::newLiveValue()
+{
+    return uint16_t(nextLvid_++);
+}
+
+void
+KernelBuilder::setSharedBytesPerCta(int bytes)
+{
+    kernel_.sharedBytesPerCta = bytes;
+}
+
+BasicBlock &
+KernelBuilder::blockAt(int idx)
+{
+    vgiw_assert(idx >= 0 && idx < int(kernel_.blocks.size()),
+                "bad block index ", idx);
+    return kernel_.blocks[idx];
+}
+
+Kernel
+KernelBuilder::finish()
+{
+    vgiw_assert(!finished_, "builder already finished");
+    finished_ = true;
+
+    const int n = int(kernel_.blocks.size());
+    if (n == 0)
+        vgiw_fatal("kernel '", kernel_.name, "' has no blocks");
+    for (int i = 0; i < n; ++i) {
+        if (!terminated_[i]) {
+            vgiw_fatal("block '", kernel_.blocks[i].name,
+                       "' has no terminator");
+        }
+    }
+
+    // Reverse post-order numbering with successors visited in reverse
+    // declared order. This makes the taken target (written first) receive
+    // the smaller ID, so a loop written as `branch cond ? body : exit`
+    // orders header < body < exit — exactly the property the hardware
+    // block scheduler relies on (Section 3.1).
+    std::vector<int> post_order;
+    std::vector<uint8_t> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<int, int>> stack;  // (block, next succ slot)
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, slot] = stack.back();
+        const Terminator &t = kernel_.blocks[b].term;
+        const int nt = t.numTargets();
+        if (slot >= nt) {
+            post_order.push_back(b);
+            state[b] = 2;
+            stack.pop_back();
+            continue;
+        }
+        // Visit targets in reverse declared order.
+        int succ = t.target[nt - 1 - slot];
+        ++slot;
+        if (state[succ] == 0) {
+            state[succ] = 1;
+            stack.emplace_back(succ, 0);
+        }
+    }
+
+    if (int(post_order.size()) != n) {
+        for (int i = 0; i < n; ++i) {
+            if (state[i] == 0) {
+                vgiw_fatal("block '", kernel_.blocks[i].name,
+                           "' is unreachable from the entry block");
+            }
+        }
+    }
+
+    // post_order reversed is the new ID order.
+    std::vector<int> new_id(n, -1);
+    for (int i = 0; i < n; ++i)
+        new_id[post_order[n - 1 - i]] = i;
+
+    std::vector<BasicBlock> reordered(n);
+    for (int old = 0; old < n; ++old) {
+        BasicBlock blk = std::move(kernel_.blocks[old]);
+        for (int s = 0; s < blk.term.numTargets(); ++s)
+            blk.term.target[s] = new_id[blk.term.target[s]];
+        reordered[new_id[old]] = std::move(blk);
+    }
+    kernel_.blocks = std::move(reordered);
+    kernel_.numLiveValues = nextLvid_;
+
+    verifyKernel(kernel_);
+    return std::move(kernel_);
+}
+
+} // namespace vgiw

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * A fluent construction API for VGIW kernels.
+ *
+ * The builder plays the role of the paper's LLVM-based compiler front-end
+ * (Section 3.1): the user describes blocks, instructions and control flow
+ * in any order; finish() then (a) renumbers blocks in reverse post-order so
+ * the entry block gets the reserved ID 0 and back-edges target smaller IDs,
+ * (b) allocates the live-value ID space, and (c) verifies the kernel.
+ */
+
+#ifndef VGIW_IR_BUILDER_HH
+#define VGIW_IR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hh"
+
+namespace vgiw
+{
+
+class KernelBuilder;
+
+/** Handle to a block under construction; provides emission shorthands. */
+class BlockRef
+{
+  public:
+    BlockRef() = default;
+    BlockRef(KernelBuilder *kb, int index) : kb_(kb), index_(index) {}
+
+    int index() const { return index_; }
+
+    /** Emit a generic instruction; returns its result operand. */
+    Operand op(Opcode o, Type t, Operand a = {}, Operand b = {},
+               Operand c = {});
+
+    // Integer (I32) shorthands.
+    Operand iadd(Operand a, Operand b) { return op(Opcode::Add, Type::I32, a, b); }
+    Operand isub(Operand a, Operand b) { return op(Opcode::Sub, Type::I32, a, b); }
+    Operand imul(Operand a, Operand b) { return op(Opcode::Mul, Type::I32, a, b); }
+    Operand imin(Operand a, Operand b) { return op(Opcode::Min, Type::I32, a, b); }
+    Operand imax(Operand a, Operand b) { return op(Opcode::Max, Type::I32, a, b); }
+    Operand idiv(Operand a, Operand b) { return op(Opcode::Div, Type::I32, a, b); }
+    Operand irem(Operand a, Operand b) { return op(Opcode::Rem, Type::I32, a, b); }
+    Operand iand(Operand a, Operand b) { return op(Opcode::And, Type::I32, a, b); }
+    Operand ior(Operand a, Operand b) { return op(Opcode::Or, Type::I32, a, b); }
+    Operand ixor(Operand a, Operand b) { return op(Opcode::Xor, Type::I32, a, b); }
+    Operand ishl(Operand a, Operand b) { return op(Opcode::Shl, Type::I32, a, b); }
+    Operand ishr(Operand a, Operand b) { return op(Opcode::Shr, Type::I32, a, b); }
+    Operand ieq(Operand a, Operand b) { return op(Opcode::CmpEq, Type::I32, a, b); }
+    Operand ine(Operand a, Operand b) { return op(Opcode::CmpNe, Type::I32, a, b); }
+    Operand ilt(Operand a, Operand b) { return op(Opcode::CmpLt, Type::I32, a, b); }
+    Operand ile(Operand a, Operand b) { return op(Opcode::CmpLe, Type::I32, a, b); }
+    Operand igt(Operand a, Operand b) { return op(Opcode::CmpGt, Type::I32, a, b); }
+    Operand ige(Operand a, Operand b) { return op(Opcode::CmpGe, Type::I32, a, b); }
+
+    // Unsigned (U32) shorthands.
+    Operand uadd(Operand a, Operand b) { return op(Opcode::Add, Type::U32, a, b); }
+    Operand umul(Operand a, Operand b) { return op(Opcode::Mul, Type::U32, a, b); }
+    Operand udiv(Operand a, Operand b) { return op(Opcode::Div, Type::U32, a, b); }
+    Operand urem(Operand a, Operand b) { return op(Opcode::Rem, Type::U32, a, b); }
+    Operand ushr(Operand a, Operand b) { return op(Opcode::Shr, Type::U32, a, b); }
+    Operand ult(Operand a, Operand b) { return op(Opcode::CmpLt, Type::U32, a, b); }
+
+    // Floating-point (F32) shorthands.
+    Operand fadd(Operand a, Operand b) { return op(Opcode::Add, Type::F32, a, b); }
+    Operand fsub(Operand a, Operand b) { return op(Opcode::Sub, Type::F32, a, b); }
+    Operand fmul(Operand a, Operand b) { return op(Opcode::Mul, Type::F32, a, b); }
+    Operand fdiv(Operand a, Operand b) { return op(Opcode::Div, Type::F32, a, b); }
+    Operand fmin(Operand a, Operand b) { return op(Opcode::Min, Type::F32, a, b); }
+    Operand fmax(Operand a, Operand b) { return op(Opcode::Max, Type::F32, a, b); }
+    Operand fneg(Operand a) { return op(Opcode::Neg, Type::F32, a); }
+    Operand fabs(Operand a) { return op(Opcode::Abs, Type::F32, a); }
+    Operand fsqrt(Operand a) { return op(Opcode::Sqrt, Type::F32, a); }
+    Operand frsqrt(Operand a) { return op(Opcode::Rsqrt, Type::F32, a); }
+    Operand fexp(Operand a) { return op(Opcode::Exp, Type::F32, a); }
+    Operand flog(Operand a) { return op(Opcode::Log, Type::F32, a); }
+    Operand fsin(Operand a) { return op(Opcode::Sin, Type::F32, a); }
+    Operand fcos(Operand a) { return op(Opcode::Cos, Type::F32, a); }
+    Operand flt(Operand a, Operand b) { return op(Opcode::CmpLt, Type::F32, a, b); }
+    Operand fle(Operand a, Operand b) { return op(Opcode::CmpLe, Type::F32, a, b); }
+    Operand fgt(Operand a, Operand b) { return op(Opcode::CmpGt, Type::F32, a, b); }
+    Operand fge(Operand a, Operand b) { return op(Opcode::CmpGe, Type::F32, a, b); }
+    Operand feq(Operand a, Operand b) { return op(Opcode::CmpEq, Type::F32, a, b); }
+
+    Operand i2f(Operand a) { return op(Opcode::I2F, Type::F32, a); }
+    Operand u2f(Operand a) { return op(Opcode::U2F, Type::F32, a); }
+    Operand f2i(Operand a) { return op(Opcode::F2I, Type::I32, a); }
+    Operand f2u(Operand a) { return op(Opcode::F2U, Type::U32, a); }
+
+    Operand
+    select(Type t, Operand c, Operand a, Operand b)
+    {
+        return op(Opcode::Select, t, c, a, b);
+    }
+
+    Operand
+    load(Type t, Operand addr, MemSpace space = MemSpace::Global)
+    {
+        return memOp(Opcode::Load, t, space, addr, Operand{});
+    }
+
+    void
+    store(Type t, Operand addr, Operand value,
+          MemSpace space = MemSpace::Global)
+    {
+        memOp(Opcode::Store, t, space, addr, value);
+    }
+
+    /**
+     * Byte address of 32-bit element @p index in the array at byte
+     * address @p base: base + (index << 2). Emitted as shift + add.
+     */
+    Operand
+    elemAddr(Operand base, Operand index)
+    {
+        Operand off = op(Opcode::Shl, Type::U32, index, Operand::constU32(2));
+        return op(Opcode::Add, Type::U32, base, off);
+    }
+
+    /** Read a live value produced by a predecessor block. */
+    Operand in(uint16_t lvid) { return Operand::liveIn(lvid); }
+
+    /** Publish @p value as live value @p lvid for successor blocks. */
+    void out(uint16_t lvid, Operand value);
+
+    // Terminators.
+    void jump(BlockRef target, bool barrier = false);
+    void branch(Operand cond, BlockRef if_true, BlockRef if_false,
+                bool barrier = false);
+    void exit();
+
+  private:
+    Operand memOp(Opcode o, Type t, MemSpace space, Operand a, Operand b);
+
+    KernelBuilder *kb_ = nullptr;
+    int index_ = -1;
+};
+
+/** Builds and finalises a Kernel. */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(std::string name, int num_params);
+
+    /** Create a new block. The first block created is the kernel entry. */
+    BlockRef block(std::string name);
+
+    /** Allocate a fresh live-value ID. */
+    uint16_t newLiveValue();
+
+    /** Declare per-CTA scratchpad usage. */
+    void setSharedBytesPerCta(int bytes);
+
+    /**
+     * Renumber blocks in reverse post-order, verify, and return the
+     * finished kernel. The builder must not be reused afterwards.
+     */
+    Kernel finish();
+
+  private:
+    friend class BlockRef;
+
+    BasicBlock &blockAt(int idx);
+
+    Kernel kernel_;
+    int nextLvid_ = 0;
+    std::vector<bool> terminated_;
+    bool finished_ = false;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_IR_BUILDER_HH

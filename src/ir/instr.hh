@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Operands and instructions of the VGIW kernel IR.
+ *
+ * Inside a basic block, values flow directly from producer to consumer —
+ * an operand of kind Local names an earlier instruction in the same block,
+ * which becomes a direct token edge on the MT-CGRF. Values that cross
+ * block boundaries are named by compiler-allocated live-value IDs and
+ * travel through the Live Value Cache (operand kind LiveIn, and the
+ * block's live-out list).
+ */
+
+#ifndef VGIW_IR_INSTR_HH
+#define VGIW_IR_INSTR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/scalar.hh"
+#include "ir/opcode.hh"
+
+namespace vgiw
+{
+
+/** Where an operand's value comes from. */
+enum class OperandKind : uint8_t
+{
+    None,     ///< unused slot
+    Local,    ///< result of an earlier instruction in the same block
+    LiveIn,   ///< live value produced by a previously executed block
+    Const,    ///< compile-time constant baked into the unit configuration
+    Special,  ///< thread coordinates delivered by the initiator CVU
+    Param,    ///< kernel launch parameter (pointer / scalar argument)
+};
+
+/** Thread-coordinate specials (the CUDA ThreadIDX family). */
+enum class SpecialReg : uint8_t
+{
+    Tid,         ///< global linear thread id
+    TidInCta,    ///< thread id within its CTA (threadIdx.x)
+    CtaId,       ///< CTA id (blockIdx.x)
+    CtaSize,     ///< threads per CTA (blockDim.x)
+    NumCtas,     ///< CTAs in the launch (gridDim.x)
+    NumThreads,  ///< total threads in the launch
+};
+
+/** A single instruction operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    uint16_t index = 0;  ///< Local: instr index; LiveIn: lvid; Param: slot
+    Scalar constant{};   ///< Const: the value; Special: SpecialReg in bits
+
+    static Operand
+    local(uint16_t instr_idx)
+    {
+        return {OperandKind::Local, instr_idx, Scalar{}};
+    }
+
+    static Operand
+    liveIn(uint16_t lvid)
+    {
+        return {OperandKind::LiveIn, lvid, Scalar{}};
+    }
+
+    static Operand
+    constant32(Scalar v)
+    {
+        return {OperandKind::Const, 0, v};
+    }
+
+    static Operand constI32(int32_t v) { return constant32(Scalar::fromI32(v)); }
+    static Operand constU32(uint32_t v) { return constant32(Scalar::fromU32(v)); }
+    static Operand constF32(float v) { return constant32(Scalar::fromF32(v)); }
+
+    static Operand
+    special(SpecialReg r)
+    {
+        return {OperandKind::Special, 0,
+                Scalar(static_cast<uint32_t>(r))};
+    }
+
+    static Operand
+    param(uint16_t slot)
+    {
+        return {OperandKind::Param, slot, Scalar{}};
+    }
+
+    bool isNone() const { return kind == OperandKind::None; }
+    SpecialReg specialReg() const
+    { return static_cast<SpecialReg>(constant.bits); }
+
+    /**
+     * True when reading this operand costs a register-file access on a
+     * von Neumann GPGPU. Constants are immediates; specials come from
+     * dedicated registers on both machines.
+     */
+    bool
+    isRegisterRead() const
+    {
+        return kind == OperandKind::Local || kind == OperandKind::LiveIn;
+    }
+};
+
+/** A three-address IR instruction. */
+struct Instr
+{
+    Opcode op = Opcode::Add;
+    Type type = Type::I32;        ///< element type the operation works on
+    MemSpace space = MemSpace::Global;  ///< for Load/Store
+    std::array<Operand, 3> src{};
+
+    ResourceClass resource() const { return opcodeResource(op, type); }
+    bool isMemory() const { return opcodeIsMemory(op); }
+};
+
+} // namespace vgiw
+
+#endif // VGIW_IR_INSTR_HH

@@ -1,0 +1,32 @@
+#include "ir/op_counts.hh"
+
+namespace vgiw
+{
+
+OpCounts
+staticOpCounts(const BasicBlock &blk)
+{
+    OpCounts c;
+    for (const auto &in : blk.instrs) {
+        switch (in.resource()) {
+          case ResourceClass::IntAlu:
+            ++c.intAlu;
+            break;
+          case ResourceClass::FpAlu:
+            ++c.fpAlu;
+            break;
+          case ResourceClass::Scu:
+            ++c.scu;
+            break;
+          case ResourceClass::Mem:
+            if (in.op == Opcode::Load)
+                ++c.loads;
+            else
+                ++c.stores;
+            break;
+        }
+    }
+    return c;
+}
+
+} // namespace vgiw

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Static per-block operation counts by resource class, shared by the
+ * timing and energy models of all three architectures.
+ */
+
+#ifndef VGIW_IR_OP_COUNTS_HH
+#define VGIW_IR_OP_COUNTS_HH
+
+#include <cstdint>
+
+#include "ir/kernel.hh"
+
+namespace vgiw
+{
+
+/** Instruction counts of one basic block, split by resource class. */
+struct OpCounts
+{
+    uint32_t intAlu = 0;
+    uint32_t fpAlu = 0;
+    uint32_t scu = 0;
+    uint32_t loads = 0;
+    uint32_t stores = 0;
+
+    uint32_t mem() const { return loads + stores; }
+    uint32_t total() const { return intAlu + fpAlu + scu + mem(); }
+};
+
+/** Count @p block's instructions by resource class. */
+OpCounts staticOpCounts(const BasicBlock &block);
+
+} // namespace vgiw
+
+#endif // VGIW_IR_OP_COUNTS_HH

@@ -1,0 +1,115 @@
+#include "ir/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace vgiw
+{
+
+int
+opcodeArity(Opcode op)
+{
+    switch (op) {
+      case Opcode::Neg:
+      case Opcode::Abs:
+      case Opcode::Not:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Exp:
+      case Opcode::Log:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::I2F:
+      case Opcode::U2F:
+      case Opcode::F2I:
+      case Opcode::F2U:
+      case Opcode::Load:
+        return 1;
+      case Opcode::Select:
+        return 3;
+      case Opcode::Store:
+        return 2;
+      default:
+        return 2;
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Neg: return "neg";
+      case Opcode::Abs: return "abs";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Not: return "not";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::CmpEq: return "cmp.eq";
+      case Opcode::CmpNe: return "cmp.ne";
+      case Opcode::CmpLt: return "cmp.lt";
+      case Opcode::CmpLe: return "cmp.le";
+      case Opcode::CmpGt: return "cmp.gt";
+      case Opcode::CmpGe: return "cmp.ge";
+      case Opcode::Select: return "select";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::Rsqrt: return "rsqrt";
+      case Opcode::Exp: return "exp";
+      case Opcode::Log: return "log";
+      case Opcode::Sin: return "sin";
+      case Opcode::Cos: return "cos";
+      case Opcode::I2F: return "i2f";
+      case Opcode::U2F: return "u2f";
+      case Opcode::F2I: return "f2i";
+      case Opcode::F2U: return "f2u";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "st";
+      case Opcode::NumOpcodes: break;
+    }
+    vgiw_panic("bad opcode");
+}
+
+bool
+opcodeIsMemory(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+bool
+opcodeIsSpecial(Opcode op)
+{
+    switch (op) {
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Exp:
+      case Opcode::Log:
+      case Opcode::Sin:
+      case Opcode::Cos:
+        return true;
+      default:
+        return false;
+    }
+}
+
+ResourceClass
+opcodeResource(Opcode op, Type type)
+{
+    if (opcodeIsMemory(op))
+        return ResourceClass::Mem;
+    if (opcodeIsSpecial(op))
+        return ResourceClass::Scu;
+    if (type == Type::F32 || op == Opcode::I2F || op == Opcode::U2F)
+        return ResourceClass::FpAlu;
+    return ResourceClass::IntAlu;
+}
+
+} // namespace vgiw

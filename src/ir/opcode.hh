@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Instruction opcodes for the VGIW kernel IR and their static properties.
+ *
+ * The IR is deliberately close to the PTX-level SSA code the paper's
+ * compiler consumes (Section 4, "Compiler"): type-polymorphic three-address
+ * operations, explicit loads/stores, and compare results materialised as
+ * 0/1 words. Each opcode maps to a functional-unit resource class that the
+ * place-and-route stage and the energy model both consume.
+ */
+
+#ifndef VGIW_IR_OPCODE_HH
+#define VGIW_IR_OPCODE_HH
+
+#include <cstdint>
+
+#include "common/scalar.hh"
+
+namespace vgiw
+{
+
+/** IR operation codes. */
+enum class Opcode : uint8_t
+{
+    // Type-polymorphic arithmetic (pipelined on the merged FPU-ALU).
+    Add, Sub, Mul, Min, Max, Neg, Abs,
+    // Integer-only bitwise / shift operations.
+    And, Or, Xor, Not, Shl, Shr,
+    // Comparisons; result is a U32 0/1 word.
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+    // Conditional select: c ? a : b.
+    Select,
+    // Non-pipelined operations, executed on the Special Compute Units.
+    Div, Rem, Sqrt, Rsqrt, Exp, Log, Sin, Cos,
+    // Conversions (pipelined).
+    I2F, U2F, F2I, F2U,
+    // Memory.
+    Load, Store,
+
+    NumOpcodes,
+};
+
+/** Memory address spaces. */
+enum class MemSpace : uint8_t { Global, Shared };
+
+/**
+ * Functional-unit resource class an operation occupies, used for
+ * place-and-route capacity accounting and for per-op energy.
+ */
+enum class ResourceClass : uint8_t
+{
+    IntAlu,   ///< integer side of the merged FPU-ALU
+    FpAlu,    ///< floating-point side of the merged FPU-ALU
+    Scu,      ///< special compute unit (non-pipelined circuits)
+    Mem,      ///< load/store unit
+};
+
+/** Number of source operands an opcode consumes. */
+int opcodeArity(Opcode op);
+
+/** Printable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** True for Load and Store. */
+bool opcodeIsMemory(Opcode op);
+
+/** True for operations that run on the SCUs (non-pipelined circuits). */
+bool opcodeIsSpecial(Opcode op);
+
+/**
+ * Resource class of an operation given its element type. Division and the
+ * transcendentals always occupy an SCU; everything else occupies the
+ * integer or floating-point side of a merged compute unit.
+ */
+ResourceClass opcodeResource(Opcode op, Type type);
+
+} // namespace vgiw
+
+#endif // VGIW_IR_OPCODE_HH

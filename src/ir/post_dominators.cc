@@ -1,0 +1,113 @@
+#include "ir/post_dominators.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vgiw
+{
+
+PostDominators::PostDominators(const Kernel &k)
+{
+    const int n = k.numBlocks();
+    const int vexit = n;  // virtual exit node id
+    const int total = n + 1;
+
+    // Reversed-CFG edges: preds on the reversed graph are the kernel's
+    // successors, so walk from the virtual exit over predecessor lists.
+    std::vector<std::vector<int>> succs(total);  // in the reversed graph
+    std::vector<std::vector<int>> preds(total);
+    for (int b = 0; b < n; ++b) {
+        const Terminator &t = k.blocks[b].term;
+        if (t.kind == TermKind::Exit) {
+            succs[vexit].push_back(b);
+            preds[b].push_back(vexit);
+        }
+        for (int s = 0; s < t.numTargets(); ++s) {
+            succs[t.target[s]].push_back(b);
+            preds[b].push_back(t.target[s]);
+        }
+    }
+
+    // RPO of the reversed graph from the virtual exit.
+    std::vector<int> post;
+    std::vector<uint8_t> state(total, 0);
+    std::vector<std::pair<int, size_t>> stack{{vexit, 0}};
+    state[vexit] = 1;
+    while (!stack.empty()) {
+        auto &[node, slot] = stack.back();
+        if (slot >= succs[node].size()) {
+            post.push_back(node);
+            stack.pop_back();
+            continue;
+        }
+        int nxt = succs[node][slot++];
+        if (!state[nxt]) {
+            state[nxt] = 1;
+            stack.emplace_back(nxt, 0);
+        }
+    }
+    std::vector<int> rpo_num(total, -1);
+    std::vector<int> order;  // nodes in reversed-graph RPO
+    for (int i = int(post.size()) - 1, r = 0; i >= 0; --i, ++r) {
+        rpo_num[post[i]] = r;
+        order.push_back(post[i]);
+    }
+    for (int b = 0; b < n; ++b) {
+        vgiw_assert(rpo_num[b] >= 0,
+                    "block ", b, " cannot reach an exit block");
+    }
+
+    // Cooper-Harvey-Kennedy iteration.
+    std::vector<int> idom(total, -2);  // -2 = undefined
+    idom[vexit] = vexit;
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_num[a] > rpo_num[b])
+                a = idom[a];
+            while (rpo_num[b] > rpo_num[a])
+                b = idom[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int node : order) {
+            if (node == vexit)
+                continue;
+            int new_idom = -2;
+            for (int p : preds[node]) {
+                if (idom[p] == -2)
+                    continue;
+                new_idom = (new_idom == -2) ? p : intersect(p, new_idom);
+            }
+            vgiw_assert(new_idom != -2, "no processed predecessor");
+            if (idom[node] != new_idom) {
+                idom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    ipdom_.resize(n);
+    for (int b = 0; b < n; ++b)
+        ipdom_[b] = idom[b] == vexit ? kVirtualExit : idom[b];
+}
+
+bool
+PostDominators::postDominates(int a, int b) const
+{
+    if (a == b)
+        return true;
+    int cur = b;
+    while (true) {
+        cur = cur == kVirtualExit ? kVirtualExit : ipdom_[cur];
+        if (cur == a)
+            return true;
+        if (cur == kVirtualExit)
+            return a == kVirtualExit;
+    }
+}
+
+} // namespace vgiw

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Immediate post-dominator analysis.
+ *
+ * The Fermi-style SIMT baseline reconverges diverged warps at the
+ * immediate post-dominator of the divergent branch — the classic
+ * reconvergence-stack scheme the paper's GPGPU baseline implements.
+ * Computed with the Cooper-Harvey-Kennedy iterative algorithm on the
+ * reversed CFG, with a virtual exit node joining all Exit blocks.
+ */
+
+#ifndef VGIW_IR_POST_DOMINATORS_HH
+#define VGIW_IR_POST_DOMINATORS_HH
+
+#include <vector>
+
+#include "ir/kernel.hh"
+
+namespace vgiw
+{
+
+/** Immediate post-dominators of a kernel's CFG. */
+class PostDominators
+{
+  public:
+    /** Sentinel meaning "the virtual exit node". */
+    static constexpr int kVirtualExit = -1;
+
+    explicit PostDominators(const Kernel &kernel);
+
+    /**
+     * Immediate post-dominator of @p block, or kVirtualExit when the only
+     * post-dominator is the virtual exit (i.e. reconvergence happens at
+     * thread termination).
+     */
+    int ipdom(int block) const { return ipdom_[block]; }
+
+    /** True if @p a post-dominates @p b (a == b counts). */
+    bool postDominates(int a, int b) const;
+
+  private:
+    std::vector<int> ipdom_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_IR_POST_DOMINATORS_HH

@@ -1,0 +1,97 @@
+#include "ir/printer.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace vgiw
+{
+
+std::string
+operandToString(const Operand &op)
+{
+    std::ostringstream os;
+    switch (op.kind) {
+      case OperandKind::None:
+        os << "_";
+        break;
+      case OperandKind::Local:
+        os << "%" << op.index;
+        break;
+      case OperandKind::LiveIn:
+        os << "lv" << op.index;
+        break;
+      case OperandKind::Param:
+        os << "p" << op.index;
+        break;
+      case OperandKind::Const:
+        os << "#" << op.constant.asI32();
+        break;
+      case OperandKind::Special:
+        switch (op.specialReg()) {
+          case SpecialReg::Tid: os << "tid"; break;
+          case SpecialReg::TidInCta: os << "tid.cta"; break;
+          case SpecialReg::CtaId: os << "ctaid"; break;
+          case SpecialReg::CtaSize: os << "ntid"; break;
+          case SpecialReg::NumCtas: os << "nctaid"; break;
+          case SpecialReg::NumThreads: os << "nthreads"; break;
+        }
+        break;
+    }
+    return os.str();
+}
+
+void
+printKernel(const Kernel &k, std::ostream &os)
+{
+    os << "kernel " << k.name << " (params: " << k.numParams
+       << ", live values: " << k.numLiveValues;
+    if (k.sharedBytesPerCta)
+        os << ", shared: " << k.sharedBytesPerCta << "B/cta";
+    os << ")\n";
+
+    for (int b = 0; b < k.numBlocks(); ++b) {
+        const BasicBlock &blk = k.blocks[b];
+        os << "  BB" << b << " '" << blk.name << "':\n";
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instr &in = blk.instrs[i];
+            os << "    %" << i << " = " << opcodeName(in.op) << "."
+               << typeName(in.type);
+            if (in.isMemory() && in.space == MemSpace::Shared)
+                os << ".shared";
+            const int arity = opcodeArity(in.op);
+            for (int s = 0; s < arity; ++s)
+                os << (s ? ", " : " ") << operandToString(in.src[s]);
+            os << "\n";
+        }
+        for (const auto &lo : blk.liveOuts) {
+            os << "    lv" << lo.lvid << " <- "
+               << operandToString(lo.value) << "\n";
+        }
+        switch (blk.term.kind) {
+          case TermKind::Jump:
+            os << "    jump BB" << blk.term.target[0];
+            break;
+          case TermKind::Branch:
+            os << "    branch " << operandToString(blk.term.cond)
+               << " ? BB" << blk.term.target[0] << " : BB"
+               << blk.term.target[1];
+            break;
+          case TermKind::Exit:
+            os << "    exit";
+            break;
+        }
+        if (blk.term.barrier)
+            os << "  [barrier]";
+        os << "\n";
+    }
+}
+
+std::string
+kernelToString(const Kernel &k)
+{
+    std::ostringstream os;
+    printKernel(k, os);
+    return os.str();
+}
+
+} // namespace vgiw

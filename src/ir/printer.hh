@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Human-readable dump of a kernel's IR — the debugging view of the
+ * "graph instruction words" the compiler produces.
+ */
+
+#ifndef VGIW_IR_PRINTER_HH
+#define VGIW_IR_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/kernel.hh"
+
+namespace vgiw
+{
+
+/** Print one operand (e.g. "%3", "lv2", "p0", "#42", "tid"). */
+std::string operandToString(const Operand &op);
+
+/** Print a whole kernel, block by block. */
+void printKernel(const Kernel &kernel, std::ostream &os);
+
+/** Convenience: printKernel into a string. */
+std::string kernelToString(const Kernel &kernel);
+
+} // namespace vgiw
+
+#endif // VGIW_IR_PRINTER_HH

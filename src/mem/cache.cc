@@ -1,0 +1,103 @@
+#include "mem/cache.hh"
+
+namespace vgiw
+{
+
+Cache::Cache(std::string name, const CacheGeometry &geom)
+    : name_(std::move(name)), geom_(geom)
+{
+    vgiw_assert(geom_.sizeBytes % (geom_.lineBytes * geom_.ways) == 0,
+                "cache '", name_, "': size not divisible by line*ways");
+    vgiw_assert(geom_.numSets() > 0, "cache '", name_, "': zero sets");
+    lines_.resize(size_t(geom_.numSets()) * geom_.ways);
+}
+
+Cache::Result
+Cache::access(uint32_t addr, bool is_write)
+{
+    ++tick_;
+    const uint32_t set = setOf(addr);
+    const uint32_t tag = tagOf(addr);
+    Line *base = &lines_[size_t(set) * geom_.ways];
+
+    Result res;
+
+    // Probe.
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        Line &ln = base[w];
+        if (ln.valid && ln.tag == tag) {
+            ln.lastUse = tick_;
+            res.hit = true;
+            if (is_write) {
+                ++stats_.writeHits;
+                if (geom_.writePolicy == WritePolicy::WriteBack) {
+                    ln.dirty = true;
+                } else {
+                    // Write-through: update the line, forward the word.
+                    ++stats_.writethroughs;
+                    res.forwardWrite = true;
+                }
+            } else {
+                ++stats_.readHits;
+            }
+            return res;
+        }
+    }
+
+    // Miss.
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    const bool allocate =
+        !is_write || geom_.allocPolicy == AllocPolicy::WriteAllocate;
+
+    if (is_write &&
+        (geom_.writePolicy == WritePolicy::WriteThrough || !allocate)) {
+        // The word itself travels to the next level.
+        ++stats_.writethroughs;
+        res.forwardWrite = true;
+    }
+
+    if (!allocate)
+        return res;
+
+    // Victim selection: invalid way first, else LRU.
+    Line *victim = &base[0];
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        Line &ln = base[w];
+        if (!ln.valid) {
+            victim = &ln;
+            break;
+        }
+        if (ln.lastUse < victim->lastUse)
+            victim = &ln;
+    }
+
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+        res.writeback = true;
+    }
+
+    ++stats_.fills;
+    res.fill = true;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    victim->dirty =
+        is_write && geom_.writePolicy == WritePolicy::WriteBack;
+
+    return res;
+}
+
+void
+Cache::reset()
+{
+    for (auto &ln : lines_)
+        ln = Line{};
+    stats_ = CacheStats{};
+    tick_ = 0;
+}
+
+} // namespace vgiw

@@ -1,0 +1,61 @@
+#include "mem/dram.hh"
+
+#include <cstddef>
+
+using std::size_t;
+
+namespace vgiw
+{
+
+Dram::Dram(const DramConfig &cfg)
+    : cfg_(cfg),
+      openRow_(size_t(cfg.channels) * cfg.banksPerChannel, -1)
+{}
+
+uint32_t
+Dram::channelOf(uint32_t addr) const
+{
+    // Interleave channels at 1 KB granularity: fine enough to spread
+    // streaming traffic, coarse enough that sequential lines within a
+    // chunk hit the same open row (GPU memory controllers interleave at
+    // a similar sub-row granularity).
+    return (addr / 1024) % cfg_.channels;
+}
+
+uint32_t
+Dram::bankOf(uint32_t addr) const
+{
+    return (addr / 1024 / cfg_.channels) % cfg_.banksPerChannel;
+}
+
+uint32_t
+Dram::rowOf(uint32_t addr) const
+{
+    return addr / cfg_.rowBytes;
+}
+
+uint32_t
+Dram::access(uint32_t addr)
+{
+    ++stats_.accesses;
+    const size_t slot =
+        size_t(channelOf(addr)) * cfg_.banksPerChannel + bankOf(addr);
+    const int64_t row = rowOf(addr);
+    if (openRow_[slot] == row) {
+        ++stats_.rowHits;
+        return cfg_.rowHitLatency;
+    }
+    ++stats_.rowMisses;
+    openRow_[slot] = row;
+    return cfg_.rowHitLatency + cfg_.rowMissPenalty;
+}
+
+void
+Dram::reset()
+{
+    for (auto &r : openRow_)
+        r = -1;
+    stats_ = DramStats{};
+}
+
+} // namespace vgiw

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A GDDR5-style main-memory model: 6 channels x 16 banks (Table 1), one
+ * open row per bank, and latency composed from row-buffer hit/miss state.
+ * Bandwidth is accounted at line (128 B) granularity so the cores can
+ * apply a DRAM service-time floor to memory-bound kernels.
+ */
+
+#ifndef VGIW_MEM_DRAM_HH
+#define VGIW_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vgiw
+{
+
+/** DRAM timing/geometry parameters (in core cycles). */
+struct DramConfig
+{
+    uint32_t channels = 6;
+    uint32_t banksPerChannel = 16;
+    uint32_t rowBytes = 2048;
+    /** Latency of an access that hits the open row. */
+    uint32_t rowHitLatency = 160;
+    /** Additional latency to precharge + activate on a row miss. */
+    uint32_t rowMissPenalty = 120;
+    /** Core cycles a channel is busy transferring one 128 B line. */
+    uint32_t cyclesPerLine = 12;
+};
+
+/** Counters for DRAM behaviour. */
+struct DramStats
+{
+    uint64_t accesses = 0;
+    uint64_t rowHits = 0;
+    uint64_t rowMisses = 0;
+
+    double
+    rowHitRate() const
+    {
+        return accesses ? double(rowHits) / double(accesses) : 0.0;
+    }
+};
+
+/** Open-row main-memory model. */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &cfg = {});
+
+    /**
+     * Access the line containing @p addr; returns the access latency in
+     * core cycles (row hit or miss, not including channel queuing).
+     */
+    uint32_t access(uint32_t addr);
+
+    /**
+     * Minimum cycles the channels need to transfer all lines accessed so
+     * far — the bandwidth floor for a kernel's execution time.
+     */
+    uint64_t
+    minServiceCycles() const
+    {
+        return stats_.accesses * cfg_.cyclesPerLine / cfg_.channels;
+    }
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return cfg_; }
+    void reset();
+
+  private:
+    uint32_t channelOf(uint32_t addr) const;
+    uint32_t bankOf(uint32_t addr) const;
+    uint32_t rowOf(uint32_t addr) const;
+
+    DramConfig cfg_;
+    std::vector<int64_t> openRow_;  // per (channel, bank); -1 = closed
+    DramStats stats_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_MEM_DRAM_HH

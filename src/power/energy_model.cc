@@ -1,0 +1,26 @@
+#include "power/energy_model.hh"
+
+namespace vgiw
+{
+
+const char *
+energyComponentName(EnergyComponent c)
+{
+    switch (c) {
+      case EnergyComponent::Datapath: return "datapath";
+      case EnergyComponent::Frontend: return "frontend";
+      case EnergyComponent::RegisterFile: return "register-file";
+      case EnergyComponent::TokenFabric: return "token-fabric";
+      case EnergyComponent::Lvc: return "lvc";
+      case EnergyComponent::Cvt: return "cvt";
+      case EnergyComponent::Config: return "config";
+      case EnergyComponent::Scratchpad: return "scratchpad";
+      case EnergyComponent::L1: return "l1";
+      case EnergyComponent::L2: return "l2";
+      case EnergyComponent::Dram: return "dram";
+      case EnergyComponent::NumComponents: break;
+    }
+    return "?";
+}
+
+} // namespace vgiw

@@ -1,0 +1,186 @@
+#include "sgmf/sgmf_core.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "cgrf/config_cost.hh"
+#include "cgrf/placer.hh"
+#include "common/logging.hh"
+#include "ir/op_counts.hh"
+#include "mem/bank_merge.hh"
+#include "mem/memory_system.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+/** Longest path (in per-block critical-path cycles) over forward edges
+ * of the CFG — the pipeline depth of the whole-kernel spatial graph. */
+int
+kernelCriticalPath(const Kernel &k, const std::vector<PlacedBlock> &placed)
+{
+    const int n = k.numBlocks();
+    std::vector<int> dist(n, 0);
+    int best = 0;
+    // Blocks are in reverse post-order, so a forward scan settles all
+    // forward edges; back edges are token recirculation, not pipeline
+    // depth.
+    for (int b = 0; b < n; ++b) {
+        dist[b] += placed[b].criticalPathCycles;
+        best = std::max(best, dist[b]);
+        const Terminator &t = k.blocks[b].term;
+        for (int s = 0; s < t.numTargets(); ++s) {
+            if (t.target[s] > b)
+                dist[t.target[s]] =
+                    std::max(dist[t.target[s]], dist[b]);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+bool
+SgmfCore::supports(const Kernel &kernel) const
+{
+    Placer placer(cfg_.grid);
+    std::vector<Dfg> dfgs;
+    for (const auto &blk : kernel.blocks)
+        dfgs.push_back(buildBlockDfg(blk, cfg_.timing));
+    return placer.placeKernel(dfgs).fits;
+}
+
+RunStats
+SgmfCore::run(const TraceSet &traces) const
+{
+    const Kernel &k = *traces.kernel;
+    const EnergyTable &e = cfg_.energy;
+
+    RunStats rs;
+    rs.arch = "sgmf";
+    rs.kernelName = k.name;
+
+    // --- Whole-kernel spatial mapping. --------------------------------
+    Placer placer(cfg_.grid);
+    std::vector<Dfg> dfgs;
+    for (const auto &blk : k.blocks)
+        dfgs.push_back(buildBlockDfg(blk, cfg_.timing));
+    PlacedKernel pk = placer.placeKernel(dfgs);
+    if (!pk.fits) {
+        rs.supported = false;
+        rs.extra.set("sgmf.units_needed", double(totalUnits(pk.totalNeeds)));
+        return rs;
+    }
+
+    // Replication of the whole kernel graph when it is small enough.
+    int replicas = cfg_.maxReplicas;
+    for (int kind = 0; kind < kNumUnitKinds; ++kind) {
+        if (pk.totalNeeds[kind] > 0) {
+            replicas = std::min(
+                replicas,
+                countOf(cfg_.grid.counts, UnitKind(kind)) /
+                    pk.totalNeeds[kind]);
+        }
+    }
+    replicas = std::max(replicas, 1);
+
+    // Static whole-graph properties.
+    uint64_t ops_int = 0, ops_fp = 0, ops_scu = 0, ops_mem = 0;
+    uint64_t edges = 0, hops = 0;
+    for (int b = 0; b < k.numBlocks(); ++b) {
+        const OpCounts oc = staticOpCounts(k.blocks[b]);
+        ops_int += oc.intAlu;
+        ops_fp += oc.fpAlu;
+        ops_scu += oc.scu;
+        ops_mem += oc.mem();
+        edges += uint64_t(pk.blocks[b].edgesPerThread);
+        hops += uint64_t(pk.blocks[b].edgeHopsPerThread);
+    }
+    const int critical = kernelCriticalPath(k, pk.blocks);
+
+    // --- Replay: injections + memory traffic. --------------------------
+    MemorySystem ms(vgiwL1Geometry());
+    BankMergeModel bank_model(ms.l1().geometry().banks);
+    BankMergeModel shared_model(32);
+    uint64_t injections = 0;
+    uint64_t miss_latency = 0;
+    uint64_t shared_accesses = 0;
+
+    for (const auto &tr : traces.threads) {
+        // One injection to enter the graph, plus one per back-edge
+        // traversal (token recirculation for loop iterations).
+        injections += 1;
+        for (const auto &ex : tr.execs) {
+            if (ex.succ >= 0 && ex.succ <= ex.block)
+                injections += 1;
+            ++rs.dynBlockExecs;
+        }
+        // Memory: only the taken path's accesses issue (predication).
+        for (const auto &acc : tr.accesses) {
+            if (acc.isShared) {
+                shared_model.access((acc.addr / 4) % 32, acc.addr / 4);
+                ++shared_accesses;
+                continue;
+            }
+            const MemAccessResult r = ms.access(acc.addr, acc.isStore);
+            bank_model.access(ms.l1().bankOf(acc.addr), acc.addr / 128);
+            if (r.servicedBy != MemLevel::L1)
+                miss_latency += r.latency;
+        }
+    }
+
+    const uint64_t issue =
+        (injections + uint64_t(replicas) - 1) / uint64_t(replicas);
+    const uint64_t bw = bank_model.maxCycles();
+    const uint64_t shr = shared_model.maxCycles();
+    const uint64_t lat = miss_latency / cfg_.missWindow;
+
+    rs.configCycles = uint64_t(reconfigCycles(cfg_.grid.numUnits()));
+    rs.reconfigs = 1;  // one static configuration per kernel
+    rs.cycles = std::max({issue, bw, lat, shr}) + uint64_t(critical) +
+                rs.configCycles;
+    rs.cycles = std::max(rs.cycles, ms.dramServiceCycles());
+
+    // --- Energy. --------------------------------------------------------
+    // Every mapped compute node fires per injection, taken path or not:
+    // the control-divergence waste of the all-paths spatial mapping.
+    rs.energy.add(EnergyComponent::Datapath,
+                  double(injections) *
+                      (ops_int * e.intAluOp + ops_fp * e.fpAluOp +
+                       ops_scu * e.scuOp) +
+                      double(ms.l1().stats().accesses()) * e.ldstIssue);
+    rs.energy.add(EnergyComponent::TokenFabric,
+                  double(injections) *
+                      (double(edges) * e.tokenBufferRw +
+                       double(hops) * e.tokenHop));
+    rs.energy.add(EnergyComponent::Config,
+                  e.configPerUnit * cfg_.grid.numUnits());
+    rs.energy.add(EnergyComponent::Scratchpad,
+                  double(shared_accesses) * e.sharedAccessWord);
+    rs.energy.add(EnergyComponent::L1,
+                  ms.l1().stats().accesses() * e.l1AccessWord);
+    rs.energy.add(EnergyComponent::L2,
+                  ms.l2().stats().accesses() * e.l2AccessLine);
+    rs.energy.add(EnergyComponent::Dram,
+                  ms.dram().stats().accesses * e.dramAccessLine);
+
+    std::vector<uint32_t> block_ops;
+    for (const auto &blk : k.blocks)
+        block_ops.push_back(staticOpCounts(blk).total());
+    rs.dynThreadOps = 0;
+    for (const auto &tr : traces.threads)
+        for (const auto &ex : tr.execs)
+            rs.dynThreadOps += block_ops[ex.block];
+
+    rs.l1Stats = ms.l1().stats();
+    rs.l2Stats = ms.l2().stats();
+    rs.dramStats = ms.dram().stats();
+    rs.extra.set("sgmf.replicas", double(replicas));
+    rs.extra.set("sgmf.injections", double(injections));
+    rs.extra.set("sgmf.units_used", double(pk.unitsUsed));
+    return rs;
+}
+
+} // namespace vgiw

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The SGMF dataflow GPGPU baseline (Voitsechov & Etsion, ISCA 2014),
+ * reimplemented as the paper's second comparison point.
+ *
+ * SGMF statically maps the *entire* kernel CDFG onto the MT-CGRF — all
+ * control paths at once (Figure 1c). Consequences modelled here:
+ *
+ *  - kernels whose CDFG exceeds the fabric's per-kind capacity are
+ *    simply unsupported (the paper compares on "the subset of kernels
+ *    that can be mapped");
+ *  - a thread is injected once per loop-path traversal (token
+ *    recirculation over the spatial fabric), and whole-kernel mapping
+ *    leaves little room for replication, so throughput is lower than
+ *    VGIW's replicated per-block graphs;
+ *  - every statically mapped compute unit fires for every injection,
+ *    including the units on control paths the thread did not take —
+ *    the divergence energy waste Figures 8/11 quantify. Predication
+ *    suppresses untaken memory accesses;
+ *  - there is no LVC/CVT and no reconfiguration: values flow directly
+ *    through the fabric (SGMF's efficiency edge on small kernels).
+ */
+
+#ifndef VGIW_SGMF_SGMF_CORE_HH
+#define VGIW_SGMF_SGMF_CORE_HH
+
+#include "cgrf/dataflow_graph.hh"
+#include "cgrf/grid.hh"
+#include "driver/run_stats.hh"
+#include "interp/trace.hh"
+#include "power/energy_model.hh"
+
+namespace vgiw
+{
+
+/** Configuration of the SGMF core model. */
+struct SgmfConfig
+{
+    GridConfig grid = GridConfig::makeTable1();
+    CgrfTiming timing{};
+    EnergyTable energy{};
+    /** Outstanding-miss window (same reservation buffers as VGIW). */
+    uint32_t missWindow = 512;
+    int maxReplicas = 8;
+};
+
+/** Cycle-approximate SGMF core model. */
+class SgmfCore
+{
+  public:
+    explicit SgmfCore(const SgmfConfig &cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Replay @p traces. When the kernel does not fit the fabric the
+     * returned stats have supported == false (and no timing data).
+     */
+    RunStats run(const TraceSet &traces) const;
+
+    /** Whether @p kernel can be mapped at all. */
+    bool supports(const Kernel &kernel) const;
+
+    const SgmfConfig &config() const { return cfg_; }
+
+  private:
+    SgmfConfig cfg_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_SGMF_SGMF_CORE_HH

@@ -1,0 +1,346 @@
+#include "simt/fermi_core.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "ir/op_counts.hh"
+#include "ir/post_dominators.hh"
+#include "mem/memory_system.hh"
+#include "simt/simt_stack.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+/** Per-warp execution state. */
+struct Warp
+{
+    int cta = 0;
+    std::array<int, 32> tids{};  ///< global tid per lane, -1 = none
+    SimtStack stack{0, 0};
+    size_t instrIdx = 0;
+    /** Per-lane cursor into the thread's access array for the block in
+     * flight; valid while instrIdx > 0 or block started. */
+    std::array<uint32_t, 32> accessCursor{};
+    bool blockStarted = false;
+    uint64_t readyAt = 0;
+    bool atBarrier = false;
+    bool done = false;
+};
+
+} // namespace
+
+RunStats
+FermiCore::run(const TraceSet &traces) const
+{
+    const Kernel &k = *traces.kernel;
+    const LaunchParams &launch = traces.launch;
+    const int num_threads = launch.numThreads();
+    const EnergyTable &e = cfg_.energy;
+
+    RunStats rs;
+    rs.arch = "fermi";
+    rs.kernelName = k.name;
+
+    PostDominators pd(k);
+    MemorySystem ms(fermiL1Geometry());
+
+    // Per-thread pointer into its trace.
+    std::vector<uint32_t> exec_ptr(size_t(num_threads), 0);
+
+    // Build warps. CTAs are scheduled in order under the residency
+    // limits; warps of resident CTAs interleave on the issue port.
+    const int warps_per_cta =
+        (launch.ctaSize + cfg_.warpSize - 1) / cfg_.warpSize;
+    const int total_warps = launch.numCtas * warps_per_cta;
+    std::vector<Warp> warps(static_cast<size_t>(total_warps));
+    for (int w = 0; w < total_warps; ++w) {
+        Warp &warp = warps[w];
+        warp.cta = w / warps_per_cta;
+        uint32_t mask = 0;
+        for (int lane = 0; lane < cfg_.warpSize; ++lane) {
+            const int in_cta =
+                (w % warps_per_cta) * cfg_.warpSize + lane;
+            const int tid = warp.cta * launch.ctaSize + in_cta;
+            warp.tids[lane] =
+                in_cta < launch.ctaSize && tid < num_threads ? tid : -1;
+            if (warp.tids[lane] >= 0)
+                mask |= uint32_t(1) << lane;
+        }
+        warp.stack = SimtStack(mask, 0);
+        warp.done = warp.stack.done();
+    }
+
+    // CTA residency window [cta_lo, cta_hi).
+    int resident_ctas = std::min(
+        {launch.numCtas, cfg_.maxResidentCtas,
+         std::max(1, cfg_.maxResidentWarps / warps_per_cta)});
+    int cta_hi = resident_ctas;
+    std::vector<int> live_warps_in_cta(size_t(launch.numCtas),
+                                       warps_per_cta);
+
+    auto warp_resident = [&](const Warp &w) { return w.cta < cta_hi; };
+
+    uint64_t clock = 0;
+    uint64_t shared_accesses = 0;
+    uint64_t active_lane_slots = 0;  // Fig. 1b: occupied lanes per issue
+    uint64_t issued_slots = 0;
+    int rr = 0;  // round-robin pointer
+
+    auto all_done = [&warps]() {
+        for (const auto &w : warps)
+            if (!w.done)
+                return false;
+        return true;
+    };
+
+    // Barrier release: when every live warp of a CTA is waiting.
+    auto try_release_barrier = [&](int cta) {
+        int waiting = 0, live = 0;
+        for (const auto &w : warps) {
+            if (w.cta != cta || w.done)
+                continue;
+            ++live;
+            if (w.atBarrier)
+                ++waiting;
+        }
+        if (live > 0 && waiting == live) {
+            for (auto &w : warps) {
+                if (w.cta == cta && !w.done && w.atBarrier) {
+                    w.atBarrier = false;
+                    w.readyAt = clock + 1;
+                }
+            }
+        }
+    };
+
+    auto on_warp_done = [&](Warp &w) {
+        w.done = true;
+        if (--live_warps_in_cta[w.cta] == 0) {
+            if (cta_hi < launch.numCtas)
+                ++cta_hi;
+        } else {
+            try_release_barrier(w.cta);  // it may have been the straggler
+        }
+    };
+
+    while (!all_done()) {
+        // Pick the next ready, resident warp (round-robin, greedy).
+        int pick = -1;
+        for (int i = 0; i < total_warps; ++i) {
+            const int w = (rr + i) % total_warps;
+            const Warp &warp = warps[w];
+            if (!warp.done && !warp.atBarrier && warp_resident(warp) &&
+                warp.readyAt <= clock) {
+                pick = w;
+                break;
+            }
+        }
+        if (pick < 0) {
+            uint64_t next = kNever;
+            for (const auto &w : warps) {
+                if (!w.done && !w.atBarrier && warp_resident(w))
+                    next = std::min(next, w.readyAt);
+            }
+            vgiw_assert(next != kNever, "kernel '", k.name,
+                        "': SM deadlock (barrier without release?)");
+            clock = next;
+            continue;
+        }
+        rr = (pick + 1) % total_warps;
+
+        Warp &warp = warps[pick];
+        const int b = warp.stack.currentBlock();
+        const BasicBlock &blk = k.blocks[b];
+        const uint32_t mask = warp.stack.activeMask();
+        const int active = warp.stack.activeLanes();
+
+        // On block entry, bind each active lane to its next trace exec.
+        if (!warp.blockStarted) {
+            for (int lane = 0; lane < 32; ++lane) {
+                if (!((mask >> lane) & 1))
+                    continue;
+                const int tid = warp.tids[lane];
+                const ThreadTrace &tr = traces.threads[tid];
+                vgiw_assert(exec_ptr[tid] < tr.execs.size(),
+                            "trace underrun (SIMT replay diverged)");
+                const BlockExec &ex = tr.execs[exec_ptr[tid]];
+                vgiw_assert(ex.block == b, "SIMT replay off-trace: warp ",
+                            pick, " block ", b, " trace ", ex.block);
+                warp.accessCursor[lane] = ex.accessBegin;
+            }
+            warp.blockStarted = true;
+            warp.instrIdx = 0;
+        }
+
+        if (warp.instrIdx < blk.instrs.size()) {
+            // ---- Issue one warp instruction. -------------------------
+            const Instr &in = blk.instrs[warp.instrIdx];
+            ++warp.instrIdx;
+            ++rs.dynWarpInstrs;
+            rs.dynThreadOps += uint64_t(active);
+            active_lane_slots += uint64_t(active);
+            ++issued_slots;
+
+            // Register file: one access per warp register operand plus
+            // the result write (Fig. 3's counting rule).
+            uint32_t rf = 0;
+            for (const auto &s : in.src)
+                if (s.isRegisterRead())
+                    ++rf;
+            if (in.op != Opcode::Store)
+                ++rf;  // destination write
+            rs.rfAccesses += rf;
+            rs.energy.add(EnergyComponent::RegisterFile,
+                          rf * e.rfAccessWarp);
+            rs.energy.add(EnergyComponent::Frontend, e.frontendWarpInstr);
+
+            uint64_t issue_cost = 1;
+
+            if (in.isMemory()) {
+                const bool is_store = in.op == Opcode::Store;
+                if (in.space == MemSpace::Shared) {
+                    // Scratchpad: serialised by bank conflicts.
+                    std::array<uint32_t, 32> bank{};
+                    for (int lane = 0; lane < 32; ++lane) {
+                        if (!((mask >> lane) & 1))
+                            continue;
+                        const int tid = warp.tids[lane];
+                        const MemAccess &acc =
+                            traces.threads[tid]
+                                .accesses[warp.accessCursor[lane]++];
+                        ++bank[(acc.addr / 4) % 32];
+                        ++shared_accesses;
+                    }
+                    const uint32_t passes =
+                        *std::max_element(bank.begin(), bank.end());
+                    issue_cost = std::max<uint64_t>(1, passes);
+                    if (!is_store) {
+                        warp.readyAt =
+                            clock + issue_cost + cfg_.sharedLatency;
+                    }
+                    rs.energy.add(EnergyComponent::Scratchpad,
+                                  double(active) * e.sharedAccessWord);
+                } else {
+                    // Coalescer: merge the warp's accesses into 128 B
+                    // transactions.
+                    std::map<uint32_t, bool> lines;  // line -> any access
+                    for (int lane = 0; lane < 32; ++lane) {
+                        if (!((mask >> lane) & 1))
+                            continue;
+                        const int tid = warp.tids[lane];
+                        const MemAccess &acc =
+                            traces.threads[tid]
+                                .accesses[warp.accessCursor[lane]++];
+                        lines.emplace(acc.addr / 128, true);
+                    }
+                    uint32_t max_lat = 0;
+                    for (const auto &[line, unused] : lines) {
+                        (void)unused;
+                        const MemAccessResult r =
+                            ms.access(line * 128, is_store);
+                        max_lat = std::max(max_lat, r.latency);
+                        rs.energy.add(EnergyComponent::L1,
+                                      e.l1AccessLine);
+                    }
+                    issue_cost = std::max<uint64_t>(1, lines.size());
+                    if (!is_store)
+                        warp.readyAt = clock + issue_cost + max_lat;
+                    // Stores retire through the write-through path
+                    // without stalling the warp.
+                }
+                rs.energy.add(EnergyComponent::Datapath,
+                              double(active) * e.ldstIssue);
+            } else {
+                switch (opcodeResource(in.op, in.type)) {
+                  case ResourceClass::Scu:
+                    issue_cost = uint64_t(cfg_.scuIssueCycles);
+                    rs.energy.add(EnergyComponent::Datapath,
+                                  double(active) * e.scuOp);
+                    break;
+                  case ResourceClass::FpAlu:
+                    rs.energy.add(EnergyComponent::Datapath,
+                                  double(active) * e.fpAluOp);
+                    break;
+                  default:
+                    rs.energy.add(EnergyComponent::Datapath,
+                                  double(active) * e.intAluOp);
+                    break;
+                }
+                // The scoreboard blocks this warp until the result can
+                // be forwarded to the (almost always dependent) next
+                // instruction; other warps fill the gap.
+                warp.readyAt = clock + cfg_.aluDependencyLatency;
+            }
+
+            clock += issue_cost;
+            warp.readyAt = std::max(warp.readyAt, clock);
+            continue;
+        }
+
+        // ---- Terminator: one branch instruction on the SM. -----------
+        if (blk.term.kind == TermKind::Branch) {
+            ++rs.dynWarpInstrs;
+            rs.energy.add(EnergyComponent::Frontend, e.frontendWarpInstr);
+            if (blk.term.cond.isRegisterRead()) {
+                ++rs.rfAccesses;
+                rs.energy.add(EnergyComponent::RegisterFile,
+                              e.rfAccessWarp);
+            }
+            clock += 1;
+        }
+
+        // Consume the execs and collect per-lane successors.
+        std::array<int, 32> lane_succ;
+        lane_succ.fill(SimtStack::kLaneInactive);
+        for (int lane = 0; lane < 32; ++lane) {
+            if (!((mask >> lane) & 1))
+                continue;
+            const int tid = warp.tids[lane];
+            const BlockExec &ex =
+                traces.threads[tid].execs[exec_ptr[tid]++];
+            lane_succ[lane] =
+                ex.succ < 0 ? SimtStack::kLaneExit : int(ex.succ);
+        }
+        rs.dynBlockExecs += uint64_t(active);
+
+        warp.stack.advance(lane_succ, pd);
+        warp.blockStarted = false;
+        warp.readyAt = std::max(warp.readyAt, clock);
+
+        if (warp.stack.done()) {
+            on_warp_done(warp);
+        } else if (blk.term.barrier) {
+            warp.atBarrier = true;
+            try_release_barrier(warp.cta);
+        }
+    }
+
+    rs.cycles = std::max(clock, ms.dramServiceCycles());
+    rs.energy.add(EnergyComponent::L2,
+                  ms.l2().stats().accesses() * e.l2AccessLine);
+    rs.energy.add(EnergyComponent::Dram,
+                  ms.dram().stats().accesses * e.dramAccessLine);
+
+    rs.l1Stats = ms.l1().stats();
+    rs.l2Stats = ms.l2().stats();
+    rs.dramStats = ms.dram().stats();
+    rs.extra.set("fermi.warps", double(total_warps));
+    rs.extra.set("fermi.shared_accesses", double(shared_accesses));
+    // SIMD lane occupancy: 1.0 means no divergence waste (Fig. 1b's
+    // masked-off lanes push this below 1).
+    rs.extra.set("fermi.lane_occupancy",
+                 issued_slots ? double(active_lane_slots) /
+                                    (32.0 * double(issued_slots))
+                              : 0.0);
+    return rs;
+}
+
+} // namespace vgiw

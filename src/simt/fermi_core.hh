@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The von Neumann GPGPU baseline: a Fermi-style streaming multiprocessor.
+ *
+ * Warps of 32 threads execute in lockstep under SIMT execution masks with
+ * a reconvergence stack (so divergent warps pay for both branch paths —
+ * the cost Figure 1b illustrates). The model is event-driven at warp
+ * instruction granularity: every issue occupies the SM's issue port, ALU
+ * latency is hidden by multithreading, loads block the issuing warp until
+ * the cache hierarchy answers, and an inter-warp coalescer merges a
+ * warp's accesses into 128 B transactions before the L1 (the capability
+ * VGIW lacks, Section 5). Register-file traffic is counted one access per
+ * warp operand, exactly the Figure 3 denominator.
+ */
+
+#ifndef VGIW_SIMT_FERMI_CORE_HH
+#define VGIW_SIMT_FERMI_CORE_HH
+
+#include <cstdint>
+
+#include "driver/run_stats.hh"
+#include "interp/trace.hh"
+#include "power/energy_model.hh"
+
+namespace vgiw
+{
+
+/** Configuration of the Fermi-style SM model. */
+struct FermiConfig
+{
+    int warpSize = 32;
+    int maxResidentWarps = 48;  ///< Fermi SM limit
+    int maxResidentCtas = 8;
+    /** Issue-port cycles for a non-pipelined (SFU) operation: 32 lanes
+     * over 4 SFUs. */
+    int scuIssueCycles = 8;
+    /**
+     * Dependent-issue latency of the arithmetic pipeline (Fermi's
+     * documented read-after-write latency is ~18-22 cycles). A warp
+     * whose next instruction depends on the previous one — the common
+     * case in the address/compute chains of these kernels — is not
+     * ready again until the result is forwarded; other resident warps
+     * hide the gap when occupancy suffices.
+     */
+    uint32_t aluDependencyLatency = 20;
+    uint32_t sharedLatency = 24;
+    EnergyTable energy{};
+};
+
+/** Event-driven Fermi SM model. */
+class FermiCore
+{
+  public:
+    explicit FermiCore(const FermiConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Replay @p traces and return timing/energy statistics. */
+    RunStats run(const TraceSet &traces) const;
+
+    const FermiConfig &config() const { return cfg_; }
+
+  private:
+    FermiConfig cfg_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_SIMT_FERMI_CORE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The per-warp SIMT reconvergence stack of the von Neumann GPGPU
+ * baseline. Diverging warps push one entry per branch outcome and
+ * reconverge at the immediate post-dominator of the divergent block —
+ * the classic execution-mask scheme whose cost Figure 1b illustrates.
+ */
+
+#ifndef VGIW_SIMT_SIMT_STACK_HH
+#define VGIW_SIMT_SIMT_STACK_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ir/post_dominators.hh"
+
+namespace vgiw
+{
+
+/** Reconvergence stack of one warp (32 lanes). */
+class SimtStack
+{
+  public:
+    /** rpc sentinel: reconvergence only at thread exit. */
+    static constexpr int kReconvergeAtExit =
+        std::numeric_limits<int>::max();
+
+    /** Lane successor meaning "lane was inactive". */
+    static constexpr int kLaneInactive = -2;
+    /** Lane successor meaning "thread exited". */
+    static constexpr int kLaneExit = -1;
+
+    SimtStack(uint32_t initial_mask, int entry_block);
+
+    bool done() const { return stack_.empty(); }
+
+    /** Block the warp executes next. */
+    int currentBlock() const { return stack_.back().pc; }
+
+    /** Execution mask for the current block. */
+    uint32_t activeMask() const { return stack_.back().mask; }
+
+    /** Number of active lanes. */
+    int activeLanes() const
+    { return __builtin_popcount(activeMask()); }
+
+    /**
+     * Advance after executing the current block: @p lane_succ gives each
+     * lane's next block (kLaneExit when the thread retired, kLaneInactive
+     * for masked-off lanes). Divergent outcomes push per-target entries
+     * that reconverge at ipdom(current block).
+     */
+    void advance(const std::array<int, 32> &lane_succ,
+                 const PostDominators &pd);
+
+    /** Depth of the stack (for tests/stats). */
+    size_t depth() const { return stack_.size(); }
+
+  private:
+    struct Entry
+    {
+        int pc;
+        int rpc;
+        uint32_t mask;
+    };
+
+    void dropEmptyTop();
+
+    std::vector<Entry> stack_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_SIMT_SIMT_STACK_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Control Vector Table (Section 3.3): one bit vector per basic block,
+ * indexed by thread ID within the current tile. A set bit means the
+ * thread's control flow has reached that block. The structure delivers
+ * 64-bit words, uses a read-and-reset read port (to avoid a second write
+ * port) and ORs in resolved-branch bitmaps from the terminator CVUs. It
+ * is partitioned into 8 banks so replicated graphs can update it in
+ * parallel.
+ */
+
+#ifndef VGIW_VGIW_CONTROL_VECTOR_TABLE_HH
+#define VGIW_VGIW_CONTROL_VECTOR_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_vector.hh"
+#include "vgiw/thread_batch.hh"
+
+namespace vgiw
+{
+
+/** Access counters for CVT energy/bandwidth accounting. */
+struct CvtStats
+{
+    uint64_t wordReads = 0;   ///< read-and-reset word operations
+    uint64_t wordWrites = 0;  ///< OR-merge word operations
+    uint64_t accesses() const { return wordReads + wordWrites; }
+};
+
+/** Per-tile control vector table. */
+class ControlVectorTable
+{
+  public:
+    ControlVectorTable(int num_blocks, int tile_size, int banks = 8);
+
+    int numBlocks() const { return int(vectors_.size()); }
+    int tileSize() const { return tileSize_; }
+    int banks() const { return banks_; }
+
+    /** Seed the entry vector: threads [0, n) pend on block 0. */
+    void seedEntry(int n);
+
+    /** Register a single thread for @p block (non-batch path). */
+    void set(int block, uint32_t tid);
+
+    /** OR a terminator CVU batch into @p block's vector. */
+    void orBatch(int block, const ThreadBatch &batch);
+
+    /**
+     * Smallest block ID with a non-empty vector, or -1. This is the
+     * entire hardware scheduling policy (Section 3.1): compiler block
+     * numbering guarantees control dependencies are respected.
+     */
+    int firstPendingBlock() const;
+
+    bool anyPending() const;
+
+    /** Threads pending on @p block. */
+    size_t pendingCount(int block) const;
+
+    /**
+     * Read-and-reset @p block's vector, returning the pending thread IDs
+     * in ascending order. Counts one word read per word scanned.
+     */
+    std::vector<uint32_t> drain(int block);
+
+    const CvtStats &stats() const { return stats_; }
+
+  private:
+    int tileSize_;
+    int banks_;
+    std::vector<BitVector> vectors_;
+    CvtStats stats_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_VGIW_CONTROL_VECTOR_TABLE_HH

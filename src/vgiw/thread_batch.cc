@@ -1,0 +1,20 @@
+#include "vgiw/thread_batch.hh"
+
+namespace vgiw
+{
+
+std::vector<ThreadBatch>
+packBatches(const std::vector<uint32_t> &tids)
+{
+    std::vector<ThreadBatch> out;
+    for (uint32_t tid : tids) {
+        const uint32_t base = tid & ~63u;
+        if (out.empty() || out.back().base != base) {
+            out.push_back(ThreadBatch{base, 0});
+        }
+        out.back().bitmap |= uint64_t{1} << (tid & 63u);
+    }
+    return out;
+}
+
+} // namespace vgiw

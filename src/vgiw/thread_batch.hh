@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Thread batch packets.
+ *
+ * Section 3.2: the BBS and the CVUs exchange threads as
+ * <base threadID, bitmap> tuples — a 16-bit base thread ID plus a 64-bit
+ * bitmap covering the 64 consecutive thread IDs starting at the base.
+ * Batches are word-aligned so a batch ORs into exactly one CVT word.
+ */
+
+#ifndef VGIW_VGIW_THREAD_BATCH_HH
+#define VGIW_VGIW_THREAD_BATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vgiw
+{
+
+/** One <base, bitmap> thread batch packet (80 bits of payload). */
+struct ThreadBatch
+{
+    uint32_t base = 0;      ///< first thread ID covered (64-aligned)
+    uint64_t bitmap = 0;
+
+    int count() const { return __builtin_popcountll(bitmap); }
+
+    /** Expand to the covered thread IDs in ascending order. */
+    std::vector<uint32_t>
+    threadIds() const
+    {
+        std::vector<uint32_t> out;
+        uint64_t v = bitmap;
+        while (v) {
+            out.push_back(base + uint32_t(__builtin_ctzll(v)));
+            v &= v - 1;
+        }
+        return out;
+    }
+};
+
+/**
+ * Pack ascending thread IDs into aligned batches. Each 64-thread window
+ * with at least one member yields one packet — which is also the number
+ * of CVT word updates the BBS performs.
+ */
+std::vector<ThreadBatch> packBatches(const std::vector<uint32_t> &tids);
+
+} // namespace vgiw
+
+#endif // VGIW_VGIW_THREAD_BATCH_HH

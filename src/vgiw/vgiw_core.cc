@@ -1,0 +1,309 @@
+#include "vgiw/vgiw_core.hh"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "cgrf/config_cost.hh"
+#include "cgrf/placer.hh"
+#include "common/logging.hh"
+#include "ir/op_counts.hh"
+#include "mem/bank_merge.hh"
+#include "mem/memory_system.hh"
+#include "vgiw/control_vector_table.hh"
+#include "vgiw/live_value_cache.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+/** Distinct live-value IDs a block reads (in first-use order). */
+std::vector<uint16_t>
+liveInIds(const BasicBlock &blk)
+{
+    std::vector<uint16_t> ids;
+    auto note = [&ids](const Operand &o) {
+        if (o.kind == OperandKind::LiveIn &&
+            std::find(ids.begin(), ids.end(), o.index) == ids.end()) {
+            ids.push_back(o.index);
+        }
+    };
+    for (const auto &in : blk.instrs)
+        for (const auto &s : in.src)
+            note(s);
+    for (const auto &lo : blk.liveOuts)
+        note(lo.value);
+    note(blk.term.cond);
+    return ids;
+}
+
+} // namespace
+
+int
+VgiwCore::tileSizeFor(const Kernel &kernel, const LaunchParams &launch) const
+{
+    // tile = CVT capacity / #blocks, in threads (Section 3.2). Tiles are
+    // rounded to whole CTAs so barriers never span tile boundaries.
+    const int raw = int(cfg_.cvtCapacityBits) / kernel.numBlocks();
+    int tile = (raw / launch.ctaSize) * launch.ctaSize;
+    if (tile < launch.ctaSize) {
+        vgiw_warn("kernel '", kernel.name, "': CTA of ", launch.ctaSize,
+                  " threads exceeds the CVT tile budget; tiling by CTA");
+        tile = launch.ctaSize;
+    }
+    return std::min(tile, launch.numThreads());
+}
+
+RunStats
+VgiwCore::run(const TraceSet &traces) const
+{
+    const Kernel &k = *traces.kernel;
+    const LaunchParams &launch = traces.launch;
+    const int num_blocks = k.numBlocks();
+    const int num_threads = launch.numThreads();
+
+    RunStats rs;
+    rs.arch = "vgiw";
+    rs.kernelName = k.name;
+
+    // --- Compile: per-block DFGs, placement, replication. -------------
+    Placer placer(cfg_.grid);
+    std::vector<Dfg> dfgs;
+    std::vector<PlacedBlock> placed;
+    std::vector<OpCounts> ops;
+    std::vector<std::vector<uint16_t>> live_ins;
+    double total_util = 0.0;
+    for (const auto &blk : k.blocks) {
+        dfgs.push_back(buildBlockDfg(blk, cfg_.timing));
+        placed.push_back(placer.place(
+            dfgs.back(), cfg_.enableReplication ? cfg_.maxReplicas : 1));
+        if (!placed.back().fits) {
+            vgiw_fatal("kernel '", k.name, "' block '", blk.name,
+                       "' does not fit the MT-CGRF grid");
+        }
+        ops.push_back(staticOpCounts(blk));
+        live_ins.push_back(liveInIds(blk));
+        total_util += placed.back().utilization(cfg_.grid.numUnits());
+    }
+    rs.extra.set("placement.avg_utilization",
+                 total_util / double(num_blocks));
+
+    // --- Runtime structures. -------------------------------------------
+    MemorySystem ms(vgiwL1Geometry());
+    LiveValueCache lvc(lvcGeometry(cfg_.lvcBytes), ms,
+                       uint32_t(num_threads), cfg_.lvcHitLatency);
+    const uint32_t l1_banks = ms.l1().geometry().banks;
+    const EnergyTable &e = cfg_.energy;
+    const int reconfig_cost = reconfigCycles(cfg_.grid.numUnits());
+
+    std::vector<uint32_t> exec_ptr(size_t(num_threads), 0);
+    BankMergeModel l1_banks_model(l1_banks);
+    BankMergeModel shared_banks_model(32);
+    std::vector<std::vector<uint32_t>> succ_tids(
+        static_cast<size_t>(num_blocks));
+
+    const int tile = tileSizeFor(k, launch);
+    uint64_t compute_cycles = 0;
+    uint64_t shared_accesses = 0;
+    uint64_t vector_sum = 0;       // Fig. 1d: coalesced vector sizes
+    uint64_t vectors_scheduled = 0;
+
+    for (int tile_start = 0; tile_start < num_threads;
+         tile_start += tile) {
+        const int tile_threads =
+            std::min(tile, num_threads - tile_start);
+        const int ctas_in_tile = tile_threads / launch.ctaSize;
+
+        ControlVectorTable cvt(num_blocks, tile_threads, cfg_.cvtBanks);
+        cvt.seedEntry(tile_threads);
+
+        // Barrier pools, keyed by (cta-in-tile, block).
+        std::vector<std::vector<std::pair<uint32_t, int>>> pools(
+            size_t(ctas_in_tile) * num_blocks);
+        std::vector<int> live_in_cta(size_t(ctas_in_tile),
+                                     launch.ctaSize);
+        int waiting = 0;
+
+        auto release_pools = [&](int cta) {
+            for (int b = 0; b < num_blocks; ++b) {
+                auto &pool = pools[size_t(cta) * num_blocks + b];
+                if (!pool.empty() &&
+                    int(pool.size()) == live_in_cta[cta]) {
+                    for (auto [rel, succ] : pool)
+                        cvt.set(succ, rel);
+                    waiting -= int(pool.size());
+                    pool.clear();
+                }
+            }
+        };
+
+        int configured = -1;
+        while (true) {
+            const int b = cvt.firstPendingBlock();
+            if (b < 0) {
+                vgiw_assert(waiting == 0, "kernel '", k.name,
+                            "': barrier deadlock in VGIW replay");
+                break;
+            }
+
+            const std::vector<uint32_t> rel_tids = cvt.drain(b);
+            const uint64_t v = rel_tids.size();
+            vector_sum += v;
+            ++vectors_scheduled;
+            if (cfg_.blockObserver) {
+                std::vector<uint32_t> gtids;
+                gtids.reserve(rel_tids.size());
+                for (uint32_t rel : rel_tids)
+                    gtids.push_back(uint32_t(tile_start) + rel);
+                cfg_.blockObserver(b, gtids);
+            }
+            const PlacedBlock &pb = placed[b];
+            const int replicas =
+                cfg_.enableReplication ? pb.replicas : 1;
+            const BasicBlock &blk = k.blocks[b];
+
+            // Reconfiguration (prefetched by the BBS; charged when the
+            // loaded graph changes).
+            if (b != configured) {
+                rs.configCycles += uint64_t(reconfig_cost);
+                ++rs.reconfigs;
+                rs.energy.add(EnergyComponent::Config,
+                              e.configPerUnit * cfg_.grid.numUnits());
+                configured = b;
+            }
+
+            // --- Replay this block vector. ---------------------------
+            l1_banks_model.reset();
+            shared_banks_model.reset();
+            for (auto &s : succ_tids)
+                s.clear();
+            uint64_t miss_latency = 0;
+            // Lines already serviced for this vector when the
+            // (future-work) coalescer is enabled; key = line*2 + isStore.
+            std::unordered_set<uint64_t> coalesced;
+
+            for (uint32_t rel : rel_tids) {
+                const uint32_t gtid = uint32_t(tile_start) + rel;
+                const ThreadTrace &tr = traces.threads[gtid];
+                vgiw_assert(exec_ptr[gtid] < tr.execs.size(),
+                            "trace underrun");
+                const BlockExec &ex = tr.execs[exec_ptr[gtid]++];
+                vgiw_assert(ex.block == b, "trace/schedule divergence");
+
+                // Global/shared memory accesses (word granularity; the
+                // VGIW LDST units do not coalesce).
+                for (uint32_t a = ex.accessBegin; a < ex.accessEnd; ++a) {
+                    const MemAccess &acc = tr.accesses[a];
+                    if (acc.isShared) {
+                        shared_banks_model.access((acc.addr / 4) % 32,
+                                                  acc.addr / 4);
+                        ++shared_accesses;
+                        continue;
+                    }
+                    if (cfg_.enableMemoryCoalescing) {
+                        const uint64_t key =
+                            uint64_t(acc.addr / 128) * 2 + acc.isStore;
+                        if (!coalesced.insert(key).second)
+                            continue;  // merged into an earlier request
+                    }
+                    const MemAccessResult r =
+                        ms.access(acc.addr, acc.isStore);
+                    l1_banks_model.access(ms.l1().bankOf(acc.addr),
+                                          acc.addr / 128);
+                    if (r.servicedBy != MemLevel::L1)
+                        miss_latency += r.latency;
+                }
+
+                // Live-value traffic through the LVC.
+                for (uint16_t lvid : live_ins[b]) {
+                    auto r = lvc.access(lvid, gtid, false);
+                    if (!r.hit)
+                        miss_latency += r.latency;
+                }
+                for (const auto &lo : blk.liveOuts) {
+                    auto r = lvc.access(lo.lvid, gtid, true);
+                    if (!r.hit)
+                        miss_latency += r.latency;
+                }
+
+                // Successor registration via the terminator CVU.
+                const int succ = ex.succ;
+                const int cta = int(rel) / launch.ctaSize;
+                if (succ < 0) {
+                    --live_in_cta[cta];
+                    release_pools(cta);
+                } else if (blk.term.barrier) {
+                    pools[size_t(cta) * num_blocks + b]
+                        .emplace_back(rel, succ);
+                    ++waiting;
+                    release_pools(cta);
+                } else {
+                    succ_tids[succ].push_back(rel);
+                }
+            }
+
+            // Batch updates back into the CVT (one word write each).
+            for (int s = 0; s < num_blocks; ++s) {
+                if (succ_tids[s].empty())
+                    continue;
+                for (const ThreadBatch &batch : packBatches(succ_tids[s]))
+                    cvt.orBatch(s, batch);
+            }
+
+            // --- Cycle model for this vector. -------------------------
+            const uint64_t issue = (v + replicas - 1) / replicas;
+            const uint64_t bw = l1_banks_model.maxCycles();
+            const uint64_t shared_cyc = shared_banks_model.maxCycles();
+            const uint64_t lat = miss_latency / cfg_.missWindow;
+            compute_cycles +=
+                std::max({issue, bw, lat, shared_cyc}) +
+                uint64_t(pb.criticalPathCycles);
+
+            // --- Energy for this vector. ------------------------------
+            const OpCounts &oc = ops[b];
+            rs.energy.add(EnergyComponent::Datapath,
+                          v * (oc.intAlu * e.intAluOp +
+                               oc.fpAlu * e.fpAluOp + oc.scu * e.scuOp +
+                               oc.mem() * e.ldstIssue));
+            rs.energy.add(EnergyComponent::TokenFabric,
+                          v * (pb.edgesPerThread * e.tokenBufferRw +
+                               pb.edgeHopsPerThread * e.tokenHop));
+            rs.dynBlockExecs += v;
+            rs.dynThreadOps += v * oc.total();
+        }
+
+        rs.energy.add(EnergyComponent::Cvt,
+                      cvt.stats().accesses() * e.cvtAccessWord);
+    }
+
+    // --- Totals. ---------------------------------------------------------
+    rs.cycles = compute_cycles + rs.configCycles;
+    rs.cycles = std::max(rs.cycles, ms.dramServiceCycles());
+
+    rs.lvcAccesses = lvc.accesses();
+    rs.energy.add(EnergyComponent::Lvc, lvc.accesses() * e.lvcAccessWord);
+    rs.energy.add(EnergyComponent::Scratchpad,
+                  shared_accesses * e.sharedAccessWord);
+    rs.energy.add(EnergyComponent::L1,
+                  ms.l1().stats().accesses() * e.l1AccessWord);
+    rs.energy.add(EnergyComponent::L2,
+                  ms.l2().stats().accesses() * e.l2AccessLine);
+    rs.energy.add(EnergyComponent::Dram,
+                  ms.dram().stats().accesses * e.dramAccessLine);
+
+    rs.l1Stats = ms.l1().stats();
+    rs.l2Stats = ms.l2().stats();
+    rs.lvcStats = lvc.stats();
+    rs.dramStats = ms.dram().stats();
+    // Fig. 1d quantified: how many threads each scheduled block vector
+    // coalesced. Large numbers are what amortise reconfiguration.
+    rs.extra.set("vgiw.avg_vector_size",
+                 vectors_scheduled ? double(vector_sum) /
+                                         double(vectors_scheduled)
+                                   : 0.0);
+    return rs;
+}
+
+} // namespace vgiw

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The VGIW core timing/energy model — the paper's primary contribution.
+ *
+ * The model replays the functional traces under the machine organisation
+ * of Section 3: the BBS repeatedly selects the smallest-numbered basic
+ * block with a non-empty CVT vector, reconfigures the MT-CGRF with the
+ * block's (replicated) dataflow graph, and streams the pending thread
+ * vector through the grid. Execution time of one block vector is
+ *
+ *     max(ceil(V / replicas),            -- injection: 1 thread/replica/cyc
+ *         max_bank L1 accesses,          -- banked-L1 throughput
+ *         miss latency / MLP window,     -- latency not hidden by dynamic
+ *         max_bank scratchpad accesses)      dataflow
+ *     + placed critical path             -- pipeline drain
+ *
+ * plus 34 reconfiguration cycles whenever the scheduled block differs
+ * from the currently loaded configuration. Threads are tiled so the CVT
+ * capacity is never exceeded (Section 3.2's tile-size formula).
+ */
+
+#ifndef VGIW_VGIW_VGIW_CORE_HH
+#define VGIW_VGIW_VGIW_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cgrf/dataflow_graph.hh"
+#include "cgrf/grid.hh"
+#include "driver/run_stats.hh"
+#include "interp/trace.hh"
+#include "power/energy_model.hh"
+
+namespace vgiw
+{
+
+/** Configuration of one VGIW core. */
+struct VgiwConfig
+{
+    GridConfig grid = GridConfig::makeTable1();
+    CgrfTiming timing{};
+    EnergyTable energy{};
+
+    /** Total CVT bit capacity; tile = capacity / #blocks (Section 3.2). */
+    uint32_t cvtCapacityBits = 64 * 1024;
+    int cvtBanks = 8;
+
+    /** Replication cap (the 16 CVUs allow at most 8 initiator pairs). */
+    int maxReplicas = 8;
+    /** Set false to ablate basic-block replication. */
+    bool enableReplication = true;
+
+    /**
+     * Outstanding-miss window: LDST reservation buffers let this many
+     * missing threads be overtaken (inter-thread dynamic dataflow).
+     */
+    uint32_t missWindow = 512;
+
+    /**
+     * EXTENSION (the paper's future work, Section 5: "We leave the
+     * exploration of methods for memory coalescing on MT-CGRFs for
+     * future work"): when enabled, the LDST crossbar merges a block
+     * vector's accesses to the same cache line into one transaction —
+     * an idealised inter-thread coalescer. Off by default to match the
+     * paper's evaluated design; bench/ablation_coalescing quantifies
+     * the headroom.
+     */
+    bool enableMemoryCoalescing = false;
+
+    /** LVC capacity; sweepable for the design-space ablation. */
+    uint32_t lvcBytes = 64 * 1024;
+    uint32_t lvcHitLatency = 6;
+
+    /**
+     * Observer invoked whenever the BBS schedules a block vector, with
+     * the block ID and the (global) thread IDs streamed through the
+     * grid — the Figure 2 machine-state walkthrough hook.
+     */
+    std::function<void(int block, const std::vector<uint32_t> &tids)>
+        blockObserver;
+};
+
+/** Cycle-approximate VGIW core model. */
+class VgiwCore
+{
+  public:
+    explicit VgiwCore(const VgiwConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Replay @p traces and return timing/energy statistics. */
+    RunStats run(const TraceSet &traces) const;
+
+    /** Tile size for a kernel/launch pair (Section 3.2 formula). */
+    int tileSizeFor(const Kernel &kernel, const LaunchParams &launch) const;
+
+    const VgiwConfig &config() const { return cfg_; }
+
+  private:
+    VgiwConfig cfg_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_VGIW_VGIW_CORE_HH

@@ -1,0 +1,70 @@
+#include "workloads/workload.hh"
+
+#include "cgrf/block_splitter.hh"
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+/**
+ * Wrap a workload constructor with the compiler's oversized-block
+ * splitting pass (Section 3.1's place-and-route flow): the kernel that
+ * reaches the simulators is guaranteed to map onto the Table 1 grid.
+ */
+std::function<WorkloadInstance()>
+compiled(WorkloadInstance (*make)())
+{
+    return [make]() {
+        WorkloadInstance w = make();
+        w.kernel = splitOversizedBlocks(std::move(w.kernel));
+        return w;
+    };
+}
+
+} // namespace
+
+const std::vector<WorkloadEntry> &
+workloadRegistry()
+{
+    using namespace workloads;
+    static const std::vector<WorkloadEntry> registry = {
+        {"BFS/Kernel", compiled(makeBfsKernel)},
+        {"BFS/Kernel2", compiled(makeBfsKernel2)},
+        {"KMEANS/invert_mapping", compiled(makeKmeansInvertMapping)},
+        {"CFD/compute_step_factor", compiled(makeCfdComputeStepFactor)},
+        {"CFD/initialize_variables", compiled(makeCfdInitializeVariables)},
+        {"CFD/time_step", compiled(makeCfdTimeStep)},
+        {"CFD/compute_flux", compiled(makeCfdComputeFlux)},
+        {"LUD/lud_internal", compiled(makeLudInternal)},
+        {"LUD/lud_diagonal", compiled(makeLudDiagonal)},
+        {"LUD/lud_perimeter", compiled(makeLudPerimeter)},
+        {"GE/Fan1", compiled(makeGeFan1)},
+        {"GE/Fan2", compiled(makeGeFan2)},
+        {"HOTSPOT/hotspot_kernel", compiled(makeHotspotKernel)},
+        {"LAVAMD/kernel_gpu_cuda", compiled(makeLavamdKernel)},
+        {"NN/euclid", compiled(makeNnEuclid)},
+        {"PF/normalize_weights", compiled(makePfNormalizeWeights)},
+        {"BPNN/adjust_weights", compiled(makeBpnnAdjustWeights)},
+        {"BPNN/layerforward", compiled(makeBpnnLayerForward)},
+        {"NW/needle_cuda_shared_1", compiled(makeNwShared1)},
+        {"NW/needle_cuda_shared_2", compiled(makeNwShared2)},
+        {"SM/compute_cost", compiled(makeSmComputeCost)},
+    };
+    return registry;
+}
+
+WorkloadInstance
+makeWorkload(const std::string &name)
+{
+    for (const auto &e : workloadRegistry()) {
+        if (e.name == name)
+            return e.make();
+    }
+    vgiw_fatal("unknown workload '", name, "'");
+}
+
+} // namespace vgiw

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the workload generators: deterministic input fills
+ * and golden-array comparison utilities. Golden references replicate the
+ * kernels' arithmetic in the same order, so float comparisons can be
+ * tight.
+ */
+
+#ifndef VGIW_WORKLOADS_WORKLOAD_UTIL_HH
+#define VGIW_WORKLOADS_WORKLOAD_UTIL_HH
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "interp/memory_image.hh"
+
+namespace vgiw::workloads
+{
+
+/** Fill @p n floats at @p base with uniform values in [lo, hi). */
+inline void
+fillF32(MemoryImage &mem, uint32_t base, uint32_t n, Rng &rng, float lo,
+        float hi)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        mem.storeF32(base, i, rng.nextFloat(lo, hi));
+}
+
+/** Fill @p n ints at @p base with uniform values in [lo, hi]. */
+inline void
+fillI32(MemoryImage &mem, uint32_t base, uint32_t n, Rng &rng, int32_t lo,
+        int32_t hi)
+{
+    for (uint32_t i = 0; i < n; ++i)
+        mem.storeI32(base, i, rng.nextInt(lo, hi));
+}
+
+/** Compare @p n floats at @p base against @p expect (relative @p tol). */
+inline bool
+checkF32(const MemoryImage &mem, uint32_t base,
+         const std::vector<float> &expect, float tol, std::string &err)
+{
+    for (size_t i = 0; i < expect.size(); ++i) {
+        const float got = mem.loadF32(base, uint32_t(i));
+        const float want = expect[i];
+        const float mag = std::max(std::fabs(want), 1.0f);
+        if (std::fabs(got - want) > tol * mag ||
+            std::isnan(got) != std::isnan(want)) {
+            std::ostringstream os;
+            os << "float mismatch at [" << i << "]: got " << got
+               << ", want " << want;
+            err = os.str();
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Compare @p n ints at @p base against @p expect. */
+inline bool
+checkI32(const MemoryImage &mem, uint32_t base,
+         const std::vector<int32_t> &expect, std::string &err)
+{
+    for (size_t i = 0; i < expect.size(); ++i) {
+        const int32_t got = mem.loadI32(base, uint32_t(i));
+        if (got != expect[i]) {
+            std::ostringstream os;
+            os << "int mismatch at [" << i << "]: got " << got << ", want "
+               << expect[i];
+            err = os.str();
+            return false;
+        }
+    }
+    return true;
+}
+
+inline bool
+checkU32(const MemoryImage &mem, uint32_t base,
+         const std::vector<uint32_t> &expect, std::string &err)
+{
+    for (size_t i = 0; i < expect.size(); ++i) {
+        const uint32_t got = mem.loadU32(base, uint32_t(i));
+        if (got != expect[i]) {
+            std::ostringstream os;
+            os << "u32 mismatch at [" << i << "]: got " << got << ", want "
+               << expect[i];
+            err = os.str();
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace vgiw::workloads
+
+#endif // VGIW_WORKLOADS_WORKLOAD_UTIL_HH

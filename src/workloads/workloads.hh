@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Constructors for every benchmark kernel of the evaluation (Table 2).
+ * Each returns a ready-to-run WorkloadInstance; the registry in
+ * workload.cc stitches them into the suite.
+ */
+
+#ifndef VGIW_WORKLOADS_WORKLOADS_HH
+#define VGIW_WORKLOADS_WORKLOADS_HH
+
+#include "workloads/workload.hh"
+
+namespace vgiw::workloads
+{
+
+// BFS — Graph Algorithms: breadth-first search.
+WorkloadInstance makeBfsKernel();
+WorkloadInstance makeBfsKernel2();
+
+// KMEANS — Data Mining: clustering.
+WorkloadInstance makeKmeansInvertMapping();
+
+// CFD — Fluid Dynamics: computational fluid dynamics solver.
+WorkloadInstance makeCfdInitializeVariables();
+WorkloadInstance makeCfdComputeStepFactor();
+WorkloadInstance makeCfdTimeStep();
+WorkloadInstance makeCfdComputeFlux();
+
+// LUD — Linear Algebra: matrix decomposition.
+WorkloadInstance makeLudInternal();
+WorkloadInstance makeLudDiagonal();
+WorkloadInstance makeLudPerimeter();
+
+// GE — Linear Algebra: Gaussian elimination.
+WorkloadInstance makeGeFan1();
+WorkloadInstance makeGeFan2();
+
+// HOTSPOT — Physics Simulation: thermal simulation.
+WorkloadInstance makeHotspotKernel();
+
+// LAVAMD — Molecular Dynamics: particle positions.
+WorkloadInstance makeLavamdKernel();
+
+// NN — Data Mining: k-nearest neighbours.
+WorkloadInstance makeNnEuclid();
+
+// PF — Medical Imaging: particle filter.
+WorkloadInstance makePfNormalizeWeights();
+
+// BPNN — Pattern Recognition: neural network training.
+WorkloadInstance makeBpnnAdjustWeights();
+WorkloadInstance makeBpnnLayerForward();
+
+// NW — Bioinformatics: sequence alignment.
+WorkloadInstance makeNwShared1();
+WorkloadInstance makeNwShared2();
+
+// SM — Data Mining: streamcluster.
+WorkloadInstance makeSmComputeCost();
+
+} // namespace vgiw::workloads
+
+#endif // VGIW_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "cgrf/dataflow_graph.hh"
+#include "helpers/test_kernels.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+int
+countRole(const Dfg &g, DfgRole r)
+{
+    int n = 0;
+    for (const auto &node : g.nodes)
+        if (node.role == r)
+            ++n;
+    return n;
+}
+
+TEST(Dfg, HasInitiatorAndTerminator)
+{
+    Kernel k = testing::makeFig1Kernel();
+    for (const auto &blk : k.blocks) {
+        Dfg g = buildBlockDfg(blk);
+        EXPECT_EQ(countRole(g, DfgRole::Initiator), 1) << blk.name;
+        EXPECT_EQ(countRole(g, DfgRole::Terminator), 1) << blk.name;
+        EXPECT_EQ(g.nodes.front().role, DfgRole::Initiator);
+    }
+}
+
+TEST(Dfg, OneInstrNodePerInstruction)
+{
+    Kernel k = testing::makeFig1Kernel();
+    for (const auto &blk : k.blocks) {
+        Dfg g = buildBlockDfg(blk);
+        EXPECT_EQ(countRole(g, DfgRole::Instr), int(blk.instrs.size()))
+            << blk.name;
+    }
+}
+
+TEST(Dfg, DistinctLiveInsGetOneLvuNodeEach)
+{
+    Kernel k = testing::makeFig1Kernel();
+    // BB2 reads lv_x (once as add operand): one LiveInRead node.
+    const BasicBlock &bb2 = k.blocks[1];
+    Dfg g = buildBlockDfg(bb2);
+    EXPECT_EQ(countRole(g, DfgRole::LiveInRead), bb2.numLiveInReads());
+    EXPECT_EQ(countRole(g, DfgRole::LiveInRead), 1);
+}
+
+TEST(Dfg, RepeatedLiveInReadsShareOneNode)
+{
+    KernelBuilder kb("sharedlv", 1);
+    uint16_t lv = kb.newLiveValue();
+    BlockRef e = kb.block("entry");
+    BlockRef u = kb.block("use");
+    e.out(lv, Operand::constI32(3));
+    e.jump(u);
+    // lv used by three separate instructions: still a single LVU read.
+    Operand s1 = u.iadd(u.in(lv), u.in(lv));
+    Operand s2 = u.imul(s1, u.in(lv));
+    u.store(Type::I32, Operand::param(0), s2);
+    u.exit();
+    Kernel k = kb.finish();
+    Dfg g = buildBlockDfg(k.blocks[1]);
+    EXPECT_EQ(countRole(g, DfgRole::LiveInRead), 1);
+}
+
+TEST(Dfg, LiveOutsGetWriteNodes)
+{
+    Kernel k = testing::makeLoopKernel();
+    const BasicBlock &body = k.blocks[2];
+    ASSERT_EQ(body.liveOuts.size(), 2u);  // acc and i
+    Dfg g = buildBlockDfg(body);
+    EXPECT_EQ(countRole(g, DfgRole::LiveOutWrite), 2);
+}
+
+TEST(Dfg, EdgesAreTopological)
+{
+    Kernel k = testing::makeFig1Kernel();
+    for (const auto &blk : k.blocks) {
+        Dfg g = buildBlockDfg(blk);
+        for (const auto &e : g.edges) {
+            EXPECT_LT(e.from, e.to) << blk.name;
+            EXPECT_GE(e.from, 0);
+            EXPECT_LT(e.to, g.numNodes());
+        }
+    }
+}
+
+TEST(Dfg, StoreAfterLoadGetsOrderingJoin)
+{
+    KernelBuilder kb("war", 2);
+    BlockRef b = kb.block("entry");
+    Operand tid = Operand::special(SpecialReg::Tid);
+    Operand a0 = b.elemAddr(Operand::param(0), tid);
+    Operand v = b.load(Type::I32, a0);
+    Operand a1 = b.elemAddr(Operand::param(1), tid);
+    b.store(Type::I32, a1, v);
+    b.exit();
+    Kernel k = kb.finish();
+    Dfg g = buildBlockDfg(k.blocks[0]);
+    EXPECT_EQ(countRole(g, DfgRole::Join), 1);
+}
+
+TEST(Dfg, StoreWithoutPrecedingLoadHasNoJoin)
+{
+    KernelBuilder kb("nowar", 1);
+    BlockRef b = kb.block("entry");
+    Operand tid = Operand::special(SpecialReg::Tid);
+    Operand a0 = b.elemAddr(Operand::param(0), tid);
+    b.store(Type::I32, a0, Operand::constI32(1));
+    b.exit();
+    Kernel k = kb.finish();
+    Dfg g = buildBlockDfg(k.blocks[0]);
+    EXPECT_EQ(countRole(g, DfgRole::Join), 0);
+}
+
+TEST(Dfg, WideFanoutInsertsSplitSjus)
+{
+    KernelBuilder kb("fanout", 1);
+    BlockRef b = kb.block("entry");
+    Operand tid = Operand::special(SpecialReg::Tid);
+    Operand x = b.iadd(tid, Operand::constI32(1));
+    // 7 consumers of x: needs one split (4 direct + split serving 3).
+    Operand acc = b.iadd(x, x);
+    acc = b.iadd(acc, b.imul(x, x));
+    acc = b.iadd(acc, b.imul(x, Operand::constI32(3)));
+    acc = b.iadd(acc, b.isub(x, Operand::constI32(1)));
+    b.store(Type::I32, Operand::param(0), acc);
+    b.exit();
+    Kernel k = kb.finish();
+    Dfg g = buildBlockDfg(k.blocks[0]);
+    EXPECT_GE(countRole(g, DfgRole::Split), 1);
+}
+
+TEST(Dfg, UnitNeedsMatchNodeKinds)
+{
+    Kernel k = testing::makeFig1Kernel();
+    Dfg g = buildBlockDfg(k.blocks[0]);
+    UnitCounts needs = g.unitNeeds();
+    EXPECT_EQ(totalUnits(needs), g.numNodes());
+    EXPECT_EQ(countOf(needs, UnitKind::Cvu), 2);
+    EXPECT_GE(countOf(needs, UnitKind::LdSt), 1);  // the load
+}
+
+TEST(Dfg, ScuOpsMapToScuUnits)
+{
+    KernelBuilder kb("scu", 1);
+    BlockRef b = kb.block("entry");
+    Operand tid = Operand::special(SpecialReg::Tid);
+    Operand f = b.u2f(tid);
+    Operand r = b.fsqrt(b.fdiv(f, Operand::constF32(3.0f)));
+    b.store(Type::F32, Operand::param(0), r);
+    b.exit();
+    Kernel k = kb.finish();
+    Dfg g = buildBlockDfg(k.blocks[0]);
+    EXPECT_EQ(countOf(g.unitNeeds(), UnitKind::Scu), 2);  // div + sqrt
+}
+
+} // namespace
+} // namespace vgiw

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "cgrf/config_cost.hh"
+#include "cgrf/grid.hh"
+#include "cgrf/interconnect.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(Grid, Table1Counts)
+{
+    GridConfig g = GridConfig::makeTable1();
+    EXPECT_EQ(g.numUnits(), 108);
+    EXPECT_EQ(countOf(g.counts, UnitKind::FpAlu), 32);
+    EXPECT_EQ(countOf(g.counts, UnitKind::Scu), 12);
+    EXPECT_EQ(countOf(g.counts, UnitKind::LdSt), 16);
+    EXPECT_EQ(countOf(g.counts, UnitKind::Lvu), 16);
+    EXPECT_EQ(countOf(g.counts, UnitKind::Sju), 16);
+    EXPECT_EQ(countOf(g.counts, UnitKind::Cvu), 16);
+    EXPECT_EQ(totalUnits(g.counts), 108);
+}
+
+TEST(Grid, EveryCellHasAKindAndPosition)
+{
+    GridConfig g = GridConfig::makeTable1();
+    ASSERT_EQ(g.kindAt.size(), 108u);
+    ASSERT_EQ(g.positions.size(), 108u);
+    UnitCounts tally{};
+    for (auto k : g.kindAt)
+        ++countOf(tally, k);
+    EXPECT_EQ(tally, g.counts);
+}
+
+TEST(Grid, MemoryUnitsLiveOnThePerimeter)
+{
+    GridConfig g = GridConfig::makeTable1();
+    for (int c = 0; c < g.numUnits(); ++c) {
+        UnitKind k = g.kindAt[c];
+        if (k == UnitKind::LdSt || k == UnitKind::Lvu) {
+            GridPos p = g.positions[c];
+            bool per = p.x == 0 || p.y == 0 || p.x == g.width - 1 ||
+                       p.y == g.height - 1;
+            EXPECT_TRUE(per) << "cell " << c << " kind "
+                             << unitKindName(k);
+        }
+    }
+}
+
+TEST(Interconnect, AdjacentUnitsAreOneHop)
+{
+    GridConfig g = GridConfig::makeTable1();
+    Interconnect net(g);
+    EXPECT_EQ(net.hops(GridPos{0, 0}, GridPos{0, 0}), 0);
+    EXPECT_EQ(net.hops(GridPos{0, 0}, GridPos{1, 0}), 1);
+    EXPECT_EQ(net.hops(GridPos{3, 3}, GridPos{3, 4}), 1);
+}
+
+TEST(Interconnect, ExpressLinksCoverDistanceTwo)
+{
+    GridConfig g = GridConfig::makeTable1();
+    Interconnect net(g);
+    EXPECT_EQ(net.hops(GridPos{0, 0}, GridPos{2, 0}), 1);
+    EXPECT_EQ(net.hops(GridPos{0, 0}, GridPos{1, 1}), 1);
+    EXPECT_EQ(net.hops(GridPos{0, 0}, GridPos{3, 0}), 2);
+    EXPECT_EQ(net.hops(GridPos{0, 0}, GridPos{2, 2}), 2);
+}
+
+TEST(Interconnect, FoldEqualizesPerimeterConnectivity)
+{
+    GridConfig g = GridConfig::makeTable1();  // 12 x 9
+    Interconnect net(g);
+    // Opposite corners are close through the wrap links.
+    EXPECT_EQ(net.hops(GridPos{0, 0}, GridPos{11, 0}), 1);
+    EXPECT_EQ(net.hops(GridPos{0, 0}, GridPos{0, 8}), 1);
+    // Distance never exceeds half the (wrapped) extents.
+    int max_hops = 0;
+    for (int a = 0; a < g.numUnits(); ++a)
+        for (int b = 0; b < g.numUnits(); ++b)
+            max_hops = std::max(max_hops, net.hops(a, b));
+    EXPECT_LE(max_hops, (g.width / 2 + g.height / 2 + 1) / 2);
+}
+
+TEST(Interconnect, SymmetricDistances)
+{
+    GridConfig g = GridConfig::makeTable1();
+    Interconnect net(g);
+    for (int a = 0; a < g.numUnits(); a += 7)
+        for (int b = 0; b < g.numUnits(); b += 5)
+            EXPECT_EQ(net.hops(a, b), net.hops(b, a));
+}
+
+TEST(ConfigCost, MatchesPapers34Cycles)
+{
+    // "This process takes 11 cycles [sqrt(#nodes)] and is performed
+    // twice"; with the reset, reconfiguration takes 34 cycles total
+    // (Section 2: "reconfiguration only takes 34 cycles").
+    EXPECT_EQ(configPassCycles(108), 11);
+    EXPECT_EQ(reconfigCycles(108), 34);
+}
+
+} // namespace
+} // namespace vgiw

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Placement-quality properties: the greedy wire-length-minimising placer
+ * should produce routes no worse than naive placement, keep dependent
+ * nodes close, and produce critical paths consistent with the DFG's
+ * latency structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cgrf/placer.hh"
+#include "helpers/random_kernel.hh"
+#include "helpers/test_kernels.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+/** Longest latency path ignoring interconnect hops (a lower bound). */
+int
+zeroHopCriticalPath(const Dfg &g)
+{
+    std::vector<int> dist(g.nodes.size());
+    for (size_t n = 0; n < g.nodes.size(); ++n)
+        dist[n] = g.nodes[n].latency;
+    int best = 0;
+    for (const auto &e : g.edges) {
+        dist[size_t(e.to)] =
+            std::max(dist[size_t(e.to)],
+                     dist[size_t(e.from)] + g.nodes[size_t(e.to)].latency);
+    }
+    for (int d : dist)
+        best = std::max(best, d);
+    return best;
+}
+
+TEST(PlacementQuality, CriticalPathBoundedBelowByLatencies)
+{
+    Placer placer(GridConfig::makeTable1());
+    Kernel k = testing::makeFig1Kernel();
+    for (const auto &blk : k.blocks) {
+        Dfg g = buildBlockDfg(blk);
+        PlacedBlock pb = placer.place(g, 1);
+        ASSERT_TRUE(pb.fits);
+        EXPECT_GE(pb.criticalPathCycles, zeroHopCriticalPath(g))
+            << blk.name;
+        // ...and above by latencies plus worst-case routing per edge.
+        const int diameter = 6;
+        EXPECT_LE(pb.criticalPathCycles,
+                  zeroHopCriticalPath(g) + diameter * g.numNodes())
+            << blk.name;
+    }
+}
+
+TEST(PlacementQuality, AverageHopsStaySmall)
+{
+    // The greedy placer should keep dependent units within ~2 hops on
+    // the folded-hypercube fabric for modest graphs.
+    Placer placer(GridConfig::makeTable1());
+    Rng rng(1234);
+    for (int trial = 0; trial < 8; ++trial) {
+        Kernel k = testing::randomKernel(rng, 3);
+        for (const auto &blk : k.blocks) {
+            Dfg g = buildBlockDfg(blk);
+            if (g.edges.empty())
+                continue;
+            PlacedBlock pb = placer.place(g, 1);
+            ASSERT_TRUE(pb.fits);
+            const double avg_hops =
+                double(pb.edgeHopsPerThread) / double(pb.edgesPerThread);
+            EXPECT_LT(avg_hops, 2.5) << blk.name;
+        }
+    }
+}
+
+TEST(PlacementQuality, ReplicasDegradeGracefully)
+{
+    // Later replicas pick from depleted cell pools: their critical path
+    // may grow, but the reported (max) path must be monotone in the
+    // replica count.
+    Placer placer(GridConfig::makeTable1());
+    Kernel k = testing::makeLoopKernel();
+    Dfg g = buildBlockDfg(k.blocks[2]);
+    int prev = 0;
+    for (int r = 1; r <= 8; ++r) {
+        PlacedBlock pb = placer.place(g, r);
+        ASSERT_TRUE(pb.fits);
+        EXPECT_GE(pb.criticalPathCycles, prev);
+        prev = pb.criticalPathCycles;
+    }
+}
+
+TEST(PlacementQuality, AliasedLvuNodesConsumeOneUnit)
+{
+    // A block that reads and writes the same live value must need only
+    // one LVU for it.
+    KernelBuilder kb("acc", 0);
+    const uint16_t lv = kb.newLiveValue();
+    BlockRef e = kb.block("entry");
+    BlockRef u = kb.block("use");
+    e.out(lv, Operand::constI32(0));
+    e.jump(u);
+    u.out(lv, u.iadd(u.in(lv), Operand::constI32(1)));
+    u.branch(u.ilt(u.in(lv), Operand::constI32(10)), u, u);
+    Kernel k = kb.finish();
+    Dfg g = buildBlockDfg(k.blocks[1]);
+    EXPECT_EQ(countOf(g.unitNeeds(), UnitKind::Lvu), 1);
+}
+
+} // namespace
+} // namespace vgiw

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "cgrf/placer.hh"
+#include "helpers/test_kernels.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+class PlacerTest : public ::testing::Test
+{
+  protected:
+    GridConfig grid = GridConfig::makeTable1();
+    Placer placer{grid};
+};
+
+TEST_F(PlacerTest, SmallBlockReplicatesUpToCvuLimit)
+{
+    Kernel k = testing::makeLoopKernel();
+    // The loop head is tiny (one compare + LVU read): replication should
+    // hit the 8-replica cap imposed by the 16 CVUs (2 per replica).
+    Dfg g = buildBlockDfg(k.blocks[1]);
+    PlacedBlock pb = placer.place(g);
+    ASSERT_TRUE(pb.fits);
+    EXPECT_EQ(pb.replicas, 8);
+}
+
+TEST_F(PlacerTest, ReplicationBoundedByUnitCapacity)
+{
+    // A block with 5 SCU operations can have at most floor(12/5) = 2
+    // replicas on the Table 1 grid.
+    KernelBuilder kb("scuheavy", 1);
+    BlockRef b = kb.block("entry");
+    Operand f = b.u2f(Operand::special(SpecialReg::Tid));
+    Operand acc = b.fsqrt(f);
+    acc = b.fadd(acc, b.fexp(f));
+    acc = b.fadd(acc, b.flog(b.fadd(f, Operand::constF32(1.f))));
+    acc = b.fadd(acc, b.fsin(f));
+    acc = b.fadd(acc, b.fcos(f));
+    b.store(Type::F32, Operand::param(0), acc);
+    b.exit();
+    Kernel k = kb.finish();
+    Dfg g = buildBlockDfg(k.blocks[0]);
+    ASSERT_EQ(countOf(g.unitNeeds(), UnitKind::Scu), 5);
+    PlacedBlock pb = placer.place(g);
+    ASSERT_TRUE(pb.fits);
+    EXPECT_EQ(pb.replicas, 2);
+}
+
+TEST_F(PlacerTest, OversizedBlockDoesNotFit)
+{
+    // 33 floating-point adds exceed the 32 FPU-ALUs.
+    KernelBuilder kb("huge", 1);
+    BlockRef b = kb.block("entry");
+    Operand acc = b.u2f(Operand::special(SpecialReg::Tid));
+    for (int i = 0; i < 33; ++i)
+        acc = b.fadd(acc, Operand::constF32(float(i)));
+    b.store(Type::F32, Operand::param(0), acc);
+    b.exit();
+    Kernel k = kb.finish();
+    Dfg g = buildBlockDfg(k.blocks[0]);
+    PlacedBlock pb = placer.place(g);
+    EXPECT_FALSE(pb.fits);
+    EXPECT_EQ(pb.replicas, 0);
+}
+
+TEST_F(PlacerTest, CriticalPathAtLeastSumOfChainLatencies)
+{
+    Kernel k = testing::makeFig1Kernel();
+    Dfg g = buildBlockDfg(k.blocks[0]);  // load + and + branch chain
+    PlacedBlock pb = placer.place(g);
+    ASSERT_TRUE(pb.fits);
+    // Chain: initiator -> (shl/add for address) -> load -> ... at least
+    // the load latency plus a few ALU cycles and hops.
+    CgrfTiming t;
+    EXPECT_GT(pb.criticalPathCycles, t.ldstLatency);
+    EXPECT_LT(pb.criticalPathCycles, 200);
+}
+
+TEST_F(PlacerTest, EdgeHopsArePositiveAndBounded)
+{
+    Kernel k = testing::makeFig1Kernel();
+    Dfg g = buildBlockDfg(k.blocks[0]);
+    PlacedBlock pb = placer.place(g);
+    ASSERT_TRUE(pb.fits);
+    EXPECT_GT(pb.edgesPerThread, 0);
+    EXPECT_GE(pb.edgeHopsPerThread, pb.edgesPerThread / 2);
+    // No edge should need more than the grid diameter in hops.
+    EXPECT_LE(pb.edgeHopsPerThread, pb.edgesPerThread * 6);
+}
+
+TEST_F(PlacerTest, WholeKernelMappingFitsSmallKernel)
+{
+    Kernel k = testing::makeLoopKernel();
+    std::vector<Dfg> dfgs;
+    for (const auto &blk : k.blocks)
+        dfgs.push_back(buildBlockDfg(blk));
+    PlacedKernel pk = placer.placeKernel(dfgs);
+    EXPECT_TRUE(pk.fits);
+    EXPECT_EQ(pk.blocks.size(), dfgs.size());
+    EXPECT_LE(pk.unitsUsed, grid.numUnits());
+}
+
+TEST_F(PlacerTest, WholeKernelMappingRejectsLargeKernel)
+{
+    // Build a kernel with 6 blocks x 12 FP ops: 72 FPU needs > 32.
+    KernelBuilder kb("big", 1);
+    std::vector<BlockRef> blocks;
+    for (int i = 0; i < 6; ++i)
+        blocks.push_back(kb.block("b" + std::to_string(i)));
+    for (int i = 0; i < 6; ++i) {
+        BlockRef b = blocks[i];
+        Operand acc = b.u2f(Operand::special(SpecialReg::Tid));
+        for (int j = 0; j < 12; ++j)
+            acc = b.fadd(acc, Operand::constF32(float(j)));
+        b.store(Type::F32, Operand::param(0), acc);
+        if (i + 1 < 6)
+            b.jump(blocks[i + 1]);
+        else
+            b.exit();
+    }
+    Kernel k = kb.finish();
+    std::vector<Dfg> dfgs;
+    for (const auto &blk : k.blocks)
+        dfgs.push_back(buildBlockDfg(blk));
+    PlacedKernel pk = placer.placeKernel(dfgs);
+    EXPECT_FALSE(pk.fits);
+}
+
+TEST_F(PlacerTest, UtilizationGrowsWithReplication)
+{
+    Kernel k = testing::makeLoopKernel();
+    Dfg g = buildBlockDfg(k.blocks[2]);  // loop body
+    PlacedBlock one = placer.place(g, 1);
+    PlacedBlock many = placer.place(g, 8);
+    ASSERT_TRUE(one.fits);
+    ASSERT_TRUE(many.fits);
+    EXPECT_GT(many.replicas, one.replicas);
+    EXPECT_GT(many.utilization(grid.numUnits()),
+              one.utilization(grid.numUnits()));
+}
+
+} // namespace
+} // namespace vgiw

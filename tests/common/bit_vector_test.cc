@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/bit_vector.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(BitVector, StartsEmpty)
+{
+    BitVector bv(130);
+    EXPECT_EQ(bv.size(), 130u);
+    EXPECT_EQ(bv.count(), 0u);
+    EXPECT_TRUE(bv.none());
+    EXPECT_EQ(bv.findFirst(), 130u);
+}
+
+TEST(BitVector, SetTestClear)
+{
+    BitVector bv(100);
+    bv.set(0);
+    bv.set(63);
+    bv.set(64);
+    bv.set(99);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(63));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(99));
+    EXPECT_FALSE(bv.test(1));
+    EXPECT_EQ(bv.count(), 4u);
+    bv.clear(63);
+    EXPECT_FALSE(bv.test(63));
+    EXPECT_EQ(bv.count(), 3u);
+}
+
+TEST(BitVector, SetFirstN)
+{
+    BitVector bv(200);
+    bv.setFirstN(130);
+    EXPECT_EQ(bv.count(), 130u);
+    EXPECT_TRUE(bv.test(129));
+    EXPECT_FALSE(bv.test(130));
+
+    BitVector exact(128);
+    exact.setFirstN(128);
+    EXPECT_EQ(exact.count(), 128u);
+}
+
+TEST(BitVector, FindFirstScansWords)
+{
+    BitVector bv(256);
+    bv.set(200);
+    EXPECT_EQ(bv.findFirst(), 200u);
+    bv.set(70);
+    EXPECT_EQ(bv.findFirst(), 70u);
+    bv.set(3);
+    EXPECT_EQ(bv.findFirst(), 3u);
+}
+
+TEST(BitVector, ReadAndResetWordModelsCvtPort)
+{
+    BitVector bv(128);
+    bv.set(1);
+    bv.set(65);
+    EXPECT_EQ(bv.readAndResetWord(0), uint64_t{1} << 1);
+    EXPECT_EQ(bv.word(0), 0u);
+    EXPECT_TRUE(bv.test(65));  // other words untouched
+}
+
+TEST(BitVector, OrWordMergesResolvedBranches)
+{
+    BitVector bv(64);
+    bv.orWord(0, 0b1010);
+    bv.orWord(0, 0b0110);
+    EXPECT_EQ(bv.word(0), 0b1110u);
+}
+
+TEST(BitVector, ToIndicesAscending)
+{
+    BitVector bv(256);
+    bv.set(5);
+    bv.set(64);
+    bv.set(255);
+    auto idx = bv.toIndices();
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx[0], 5u);
+    EXPECT_EQ(idx[1], 64u);
+    EXPECT_EQ(idx[2], 255u);
+}
+
+TEST(BitVector, OrWithWholeVector)
+{
+    BitVector a(100), b(100);
+    a.set(1);
+    b.set(99);
+    a.orWith(b);
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.test(99));
+    EXPECT_EQ(a.count(), 2u);
+}
+
+} // namespace
+} // namespace vgiw

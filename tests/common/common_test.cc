@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/scalar.hh"
+#include "common/stat_set.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(Scalar, TypedViewsRoundTrip)
+{
+    EXPECT_EQ(Scalar::fromI32(-5).asI32(), -5);
+    EXPECT_EQ(Scalar::fromU32(0xdeadbeef).asU32(), 0xdeadbeefu);
+    EXPECT_FLOAT_EQ(Scalar::fromF32(3.25f).asF32(), 3.25f);
+    // Bit-level aliasing: the float view of an int pattern is a bitcast.
+    EXPECT_EQ(Scalar::fromF32(1.0f).bits, 0x3f800000u);
+}
+
+TEST(Scalar, BoolSemantics)
+{
+    EXPECT_FALSE(Scalar::fromI32(0).asBool());
+    EXPECT_TRUE(Scalar::fromI32(1).asBool());
+    EXPECT_TRUE(Scalar::fromI32(-1).asBool());
+    // Negative zero float is a non-zero bit pattern: true, like hardware
+    // predicates on raw words.
+    EXPECT_TRUE(Scalar::fromF32(-0.0f).asBool());
+}
+
+TEST(Scalar, TypeNames)
+{
+    EXPECT_STREQ(typeName(Type::I32), "i32");
+    EXPECT_STREQ(typeName(Type::U32), "u32");
+    EXPECT_STREQ(typeName(Type::F32), "f32");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangesRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const uint32_t u = r.nextUInt(10);
+        EXPECT_LT(u, 10u);
+        const int32_t s = r.nextInt(-5, 5);
+        EXPECT_GE(s, -5);
+        EXPECT_LE(s, 5);
+        const float f = r.nextFloat(2.0f, 3.0f);
+        EXPECT_GE(f, 2.0f);
+        EXPECT_LT(f, 3.0f);
+    }
+}
+
+TEST(Rng, FloatRoughlyUniform)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextFloat();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet s;
+    s.add("cycles", 10);
+    s.add("cycles", 5);
+    s.set("ipc", 1.5);
+    s.set("ipc", 2.0);
+    EXPECT_EQ(s.get("cycles"), 15.0);
+    EXPECT_EQ(s.get("ipc"), 2.0);
+    EXPECT_EQ(s.get("missing"), 0.0);
+    EXPECT_TRUE(s.has("cycles"));
+    EXPECT_FALSE(s.has("missing"));
+}
+
+TEST(StatSet, MergeSumsSharedNames)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 3);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3.0);
+    EXPECT_EQ(a.get("y"), 3.0);
+    EXPECT_EQ(a.entries().size(), 2u);
+}
+
+TEST(StatSet, PreservesInsertionOrder)
+{
+    StatSet s;
+    s.add("z", 1);
+    s.add("a", 2);
+    ASSERT_EQ(s.entries().size(), 2u);
+    EXPECT_EQ(s.entries()[0].first, "z");
+    EXPECT_EQ(s.entries()[1].first, "a");
+}
+
+} // namespace
+} // namespace vgiw

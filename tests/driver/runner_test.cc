@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "driver/runner.hh"
+#include "workloads/workload.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(Runner, ComparesAllThreeArchitectures)
+{
+    Runner runner;
+    ArchComparison c = runner.compare(makeWorkload("NN/euclid"));
+    EXPECT_TRUE(c.goldenPassed);
+    EXPECT_EQ(c.vgiw.arch, "vgiw");
+    EXPECT_EQ(c.fermi.arch, "fermi");
+    EXPECT_EQ(c.sgmf.arch, "sgmf");
+    EXPECT_GT(c.vgiw.cycles, 0u);
+    EXPECT_GT(c.fermi.cycles, 0u);
+    EXPECT_GT(c.speedupVsFermi(), 0.0);
+    EXPECT_GT(c.energyEfficiencyVsFermi(), 0.0);
+}
+
+TEST(Runner, WorkIsIdenticalAcrossArchitectures)
+{
+    Runner runner;
+    for (const char *name : {"BFS/Kernel", "GE/Fan2", "SM/compute_cost"}) {
+        ArchComparison c = runner.compare(makeWorkload(name));
+        EXPECT_EQ(c.vgiw.dynBlockExecs, c.fermi.dynBlockExecs) << name;
+        if (c.sgmf.supported) {
+            EXPECT_EQ(c.sgmf.dynBlockExecs, c.vgiw.dynBlockExecs) << name;
+        }
+    }
+}
+
+TEST(Runner, LvcAccessesFarBelowRfAccesses)
+{
+    // Fig. 3's headline: the LVC is accessed on average ~10x less often
+    // than a GPGPU register file. Check the direction on a couple of
+    // kernels (the full sweep is bench/fig03).
+    Runner runner;
+    // Kernels with cross-block values still sit far below the RF rate
+    // (the paper's average is ~0.1).
+    for (const char *name : {"BFS/Kernel", "GE/Fan2"}) {
+        ArchComparison c = runner.compare(makeWorkload(name));
+        EXPECT_LT(c.lvcToRfRatio(), 0.5) << name;
+        EXPECT_GT(c.lvcToRfRatio(), 0.0) << name;
+    }
+    // Single-body kernels keep every value inside the fabric: zero LVC
+    // traffic at all (the extreme the paper's Figure 3 bars approach).
+    ArchComparison nn = runner.compare(makeWorkload("NN/euclid"));
+    EXPECT_EQ(nn.vgiw.lvcAccesses, 0u);
+    EXPECT_GT(nn.fermi.rfAccesses, 0u);
+}
+
+TEST(Runner, ConfigOverheadIsSmall)
+{
+    // Section 3.2: configuration overhead averaged 0.18% of runtime.
+    Runner runner;
+    ArchComparison c = runner.compare(makeWorkload("NN/euclid"));
+    EXPECT_LT(c.vgiw.configOverheadFraction(), 0.05);
+}
+
+TEST(Runner, SgmfRejectsLargeKernels)
+{
+    Runner runner;
+    // hotspot's 13-block boundary-diamond kernel exceeds the fabric.
+    ArchComparison c = runner.compare(makeWorkload("CFD/compute_flux"));
+    // Whether or not it fits, VGIW must run it.
+    EXPECT_GT(c.vgiw.cycles, 0u);
+}
+
+TEST(Runner, Table1ConfigPrints)
+{
+    std::ostringstream os;
+    SystemConfig{}.printTable1(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("108"), std::string::npos);
+    EXPECT_NE(s.find("32 combined FPU-ALU"), std::string::npos);
+    EXPECT_NE(s.find("GDDR5"), std::string::npos);
+}
+
+} // namespace
+} // namespace vgiw

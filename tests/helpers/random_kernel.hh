@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Random structured-kernel generator shared by the property tests.
+ */
+
+#ifndef VGIW_TESTS_HELPERS_RANDOM_KERNEL_HH
+#define VGIW_TESTS_HELPERS_RANDOM_KERNEL_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "ir/builder.hh"
+
+namespace vgiw::testing
+{
+
+/**
+ * Generate a random structured kernel: a chain of regions, each either a
+ * straight block, an if/else diamond (condition on input data), or a
+ * counted loop with a data-dependent trip count. Every region threads a
+ * running accumulator live value through; the final block stores it.
+ * Params: 0 = input base, 1 = output base.
+ */
+inline Kernel
+randomKernel(Rng &rng, int regions)
+{
+    KernelBuilder kb("random", 2);
+    const uint16_t lv_acc = kb.newLiveValue();
+
+    BlockRef cur = kb.block("entry");
+    Operand tid = Operand::special(SpecialReg::Tid);
+    {
+        Operand v = cur.load(Type::I32,
+                             cur.elemAddr(Operand::param(0), tid));
+        cur.out(lv_acc, v);
+    }
+
+    for (int r = 0; r < regions; ++r) {
+        // Each region starts in a fresh block so lv_acc is always a
+        // genuine live-in (the LVC round-trips between regions).
+        BlockRef region = kb.block("r" + std::to_string(r));
+        cur.jump(region);
+        cur = region;
+        const int kind = int(rng.nextUInt(3));
+        if (kind == 0) {
+            // Straight: acc = acc * 3 + r.
+            BlockRef next = kb.block("s" + std::to_string(r));
+            cur.jump(next);
+            next.out(lv_acc,
+                     next.iadd(next.imul(next.in(lv_acc),
+                                         Operand::constI32(3)),
+                               Operand::constI32(r)));
+            cur = next;
+        } else if (kind == 1) {
+            // Diamond on a data-dependent bit.
+            BlockRef t = kb.block("t" + std::to_string(r));
+            BlockRef f = kb.block("f" + std::to_string(r));
+            BlockRef j = kb.block("j" + std::to_string(r));
+            Operand bit = cur.iand(cur.in(lv_acc),
+                                   Operand::constI32(1 << (r % 4)));
+            cur.branch(bit, t, f);
+            t.out(lv_acc, t.iadd(t.in(lv_acc), Operand::constI32(17)));
+            t.jump(j);
+            f.out(lv_acc, f.ixor(f.in(lv_acc), Operand::constI32(29)));
+            f.jump(j);
+            cur = j;
+            // join block must do something so it isn't empty.
+            j.out(lv_acc, j.iadd(j.in(lv_acc), Operand::constI32(1)));
+        } else {
+            // Loop with data-dependent trips in [0, 3].
+            const uint16_t lv_i = kb.newLiveValue();
+            BlockRef head = kb.block("lh" + std::to_string(r));
+            BlockRef body = kb.block("lb" + std::to_string(r));
+            BlockRef exit_b = kb.block("lx" + std::to_string(r));
+            cur.out(lv_i,
+                    cur.iand(cur.in(lv_acc), Operand::constI32(3)));
+            cur.jump(head);
+            head.branch(head.igt(head.in(lv_i), Operand::constI32(0)),
+                        body, exit_b);
+            body.out(lv_acc, body.iadd(body.in(lv_acc),
+                                       Operand::constI32(5)));
+            body.out(lv_i, body.isub(body.in(lv_i),
+                                     Operand::constI32(1)));
+            body.jump(head);
+            cur = exit_b;
+            exit_b.out(lv_acc, exit_b.in(lv_acc));
+        }
+    }
+
+    cur.store(Type::I32, cur.elemAddr(Operand::param(1), tid),
+              cur.in(lv_acc));
+    cur.exit();
+    return kb.finish();
+}
+
+} // namespace vgiw::testing
+
+#endif // VGIW_TESTS_HELPERS_RANDOM_KERNEL_HH

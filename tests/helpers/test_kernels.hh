@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Shared kernel fixtures for the unit tests: the paper's running example
+ * (Figure 1a), a simple counted loop, and a barrier/shared-memory kernel.
+ */
+
+#ifndef VGIW_TESTS_HELPERS_TEST_KERNELS_HH
+#define VGIW_TESTS_HELPERS_TEST_KERNELS_HH
+
+#include "ir/builder.hh"
+#include "ir/kernel.hh"
+
+namespace vgiw::testing
+{
+
+/**
+ * The nested-conditional kernel of Figure 1a.
+ *
+ *   BB1: x = in[tid];       branch (x & 1) ? BB2 : BB3
+ *   BB2: out[tid] = x + 10;             jump BB6
+ *   BB3:                     branch (x & 2) ? BB4 : BB5
+ *   BB4: out[tid] = x + 100;            jump BB6
+ *   BB5: out[tid] = x + 1000;           jump BB6
+ *   BB6: out2[tid] = x;                 exit
+ *
+ * Params: 0 = in base, 1 = out base, 2 = out2 base.
+ * With in[] = {1,0,3,2,2,2,3,1} (threads 0..7) the control flows match
+ * the paper's example: threads 0,2,7 take BB2; 1,6 take BB4; 3,4,5 take
+ * BB5 (paper numbering is 1-based).
+ */
+inline Kernel
+makeFig1Kernel()
+{
+    KernelBuilder kb("fig1a", 3);
+    const uint16_t lv_x = kb.newLiveValue();
+
+    BlockRef bb1 = kb.block("BB1");
+    BlockRef bb2 = kb.block("BB2");
+    BlockRef bb3 = kb.block("BB3");
+    BlockRef bb4 = kb.block("BB4");
+    BlockRef bb5 = kb.block("BB5");
+    BlockRef bb6 = kb.block("BB6");
+
+    Operand tid = Operand::special(SpecialReg::Tid);
+
+    {
+        Operand addr = bb1.elemAddr(Operand::param(0), tid);
+        Operand x = bb1.load(Type::I32, addr);
+        bb1.out(lv_x, x);
+        Operand c = bb1.iand(x, Operand::constI32(1));
+        bb1.branch(c, bb2, bb3);
+    }
+    {
+        Operand v = bb2.iadd(bb2.in(lv_x), Operand::constI32(10));
+        Operand addr = bb2.elemAddr(Operand::param(1), tid);
+        bb2.store(Type::I32, addr, v);
+        bb2.jump(bb6);
+    }
+    {
+        Operand c = bb3.iand(bb3.in(lv_x), Operand::constI32(2));
+        bb3.branch(c, bb4, bb5);
+    }
+    {
+        Operand v = bb4.iadd(bb4.in(lv_x), Operand::constI32(100));
+        Operand addr = bb4.elemAddr(Operand::param(1), tid);
+        bb4.store(Type::I32, addr, v);
+        bb4.jump(bb6);
+    }
+    {
+        Operand v = bb5.iadd(bb5.in(lv_x), Operand::constI32(1000));
+        Operand addr = bb5.elemAddr(Operand::param(1), tid);
+        bb5.store(Type::I32, addr, v);
+        bb5.jump(bb6);
+    }
+    {
+        Operand addr = bb6.elemAddr(Operand::param(2), tid);
+        bb6.store(Type::I32, addr, bb6.in(lv_x));
+        bb6.exit();
+    }
+
+    return kb.finish();
+}
+
+/**
+ * A counted loop: out[tid] = sum of 0..n-1 scaled by tid.
+ *
+ *   entry:  i = 0; acc = 0;                     jump head
+ *   head:   branch (i < n) ? body : done
+ *   body:   acc += i * tid; i += 1;             jump head
+ *   done:   out[tid] = acc;                     exit
+ *
+ * Params: 0 = out base, 1 = n.
+ */
+inline Kernel
+makeLoopKernel()
+{
+    KernelBuilder kb("loop", 2);
+    const uint16_t lv_i = kb.newLiveValue();
+    const uint16_t lv_acc = kb.newLiveValue();
+
+    BlockRef entry = kb.block("entry");
+    BlockRef head = kb.block("head");
+    BlockRef body = kb.block("body");
+    BlockRef done = kb.block("done");
+
+    Operand tid = Operand::special(SpecialReg::Tid);
+
+    entry.out(lv_i, Operand::constI32(0));
+    entry.out(lv_acc, Operand::constI32(0));
+    entry.jump(head);
+
+    Operand c = head.ilt(head.in(lv_i), Operand::param(1));
+    head.branch(c, body, done);
+
+    {
+        Operand term = body.imul(body.in(lv_i), tid);
+        body.out(lv_acc, body.iadd(body.in(lv_acc), term));
+        body.out(lv_i, body.iadd(body.in(lv_i), Operand::constI32(1)));
+        body.jump(head);
+    }
+
+    Operand addr = done.elemAddr(Operand::param(0), tid);
+    done.store(Type::I32, addr, done.in(lv_acc));
+    done.exit();
+
+    return kb.finish();
+}
+
+/**
+ * A shared-memory reversal with a barrier: each thread writes its lane
+ * value to the scratchpad, the CTA synchronises, then each thread reads
+ * the opposite lane: out[tid] = in[cta * ctaSize + (ctaSize-1-lane)].
+ *
+ * Params: 0 = in base, 1 = out base.
+ */
+inline Kernel
+makeBarrierKernel(int cta_size)
+{
+    KernelBuilder kb("barrier_reverse", 2);
+    kb.setSharedBytesPerCta(cta_size * 4);
+
+    BlockRef fill = kb.block("fill");
+    BlockRef read = kb.block("read");
+
+    Operand tid = Operand::special(SpecialReg::Tid);
+    Operand lane = Operand::special(SpecialReg::TidInCta);
+
+    {
+        Operand gaddr = fill.elemAddr(Operand::param(0), tid);
+        Operand v = fill.load(Type::I32, gaddr);
+        Operand saddr = fill.elemAddr(Operand::constU32(0), lane);
+        fill.store(Type::I32, saddr, v, MemSpace::Shared);
+        fill.jump(read, /*barrier=*/true);
+    }
+    {
+        Operand opp = read.isub(Operand::constI32(cta_size - 1), lane);
+        Operand saddr = read.elemAddr(Operand::constU32(0), opp);
+        Operand v = read.load(Type::I32, saddr, MemSpace::Shared);
+        Operand gaddr = read.elemAddr(Operand::param(1), tid);
+        read.store(Type::I32, gaddr, v);
+        read.exit();
+    }
+
+    return kb.finish();
+}
+
+} // namespace vgiw::testing
+
+#endif // VGIW_TESTS_HELPERS_TEST_KERNELS_HH

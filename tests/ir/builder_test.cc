@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "helpers/test_kernels.hh"
+#include "ir/builder.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(Builder, Fig1NumberingMatchesPaper)
+{
+    Kernel k = testing::makeFig1Kernel();
+    ASSERT_EQ(k.numBlocks(), 6);
+    // Paper's 1-based BB1..BB6 map to our 0-based ids 0..5.
+    EXPECT_EQ(k.blocks[0].name, "BB1");
+    EXPECT_EQ(k.blocks[1].name, "BB2");
+    EXPECT_EQ(k.blocks[2].name, "BB3");
+    EXPECT_EQ(k.blocks[3].name, "BB4");
+    EXPECT_EQ(k.blocks[4].name, "BB5");
+    EXPECT_EQ(k.blocks[5].name, "BB6");
+    // Entry uses the reserved id 0.
+    EXPECT_EQ(k.blocks[0].term.target[0], 1);
+    EXPECT_EQ(k.blocks[0].term.target[1], 2);
+}
+
+TEST(Builder, ForwardEdgesGoToLargerIds)
+{
+    Kernel k = testing::makeFig1Kernel();
+    for (int b = 0; b < k.numBlocks(); ++b) {
+        const auto &t = k.blocks[b].term;
+        for (int s = 0; s < t.numTargets(); ++s)
+            EXPECT_GT(t.target[s], b) << "block " << b;
+    }
+}
+
+TEST(Builder, LoopBackEdgeTargetsSmallerId)
+{
+    Kernel k = testing::makeLoopKernel();
+    ASSERT_EQ(k.numBlocks(), 4);
+    // entry=0, head=1, body=2, done=3; the back edge body->head is 2->1.
+    EXPECT_EQ(k.blocks[1].name, "head");
+    EXPECT_EQ(k.blocks[2].name, "body");
+    EXPECT_EQ(k.blocks[3].name, "done");
+    EXPECT_EQ(k.blocks[2].term.target[0], 1);  // back edge
+    EXPECT_LT(k.blocks[2].term.target[0], 2);
+    // Loop body precedes the epilogue so the BBS iterates the loop
+    // before scheduling the epilogue.
+    EXPECT_GT(k.blocks[1].term.target[1], 2);
+}
+
+TEST(Builder, BlocksCreatedOutOfOrderAreRenumbered)
+{
+    KernelBuilder kb("reorder", 0);
+    BlockRef a = kb.block("a");
+    BlockRef c = kb.block("c");  // created second, reached last
+    BlockRef b = kb.block("b");
+    a.jump(b);
+    b.jump(c);
+    c.exit();
+    Kernel k = kb.finish();
+    EXPECT_EQ(k.blocks[0].name, "a");
+    EXPECT_EQ(k.blocks[1].name, "b");
+    EXPECT_EQ(k.blocks[2].name, "c");
+}
+
+TEST(Builder, UnterminatedBlockIsFatal)
+{
+    KernelBuilder kb("bad", 0);
+    kb.block("entry");
+    EXPECT_THROW(kb.finish(), std::runtime_error);
+}
+
+TEST(Builder, UnreachableBlockIsFatal)
+{
+    KernelBuilder kb("bad", 0);
+    BlockRef e = kb.block("entry");
+    BlockRef orphan = kb.block("orphan");
+    e.exit();
+    orphan.exit();
+    EXPECT_THROW(kb.finish(), std::runtime_error);
+}
+
+TEST(Builder, LiveValueIdsAreDense)
+{
+    KernelBuilder kb("lv", 0);
+    uint16_t a = kb.newLiveValue();
+    uint16_t b = kb.newLiveValue();
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    BlockRef e = kb.block("entry");
+    e.out(a, Operand::constI32(1));
+    e.out(b, Operand::constI32(2));
+    e.exit();
+    Kernel k = kb.finish();
+    EXPECT_EQ(k.numLiveValues, 2);
+}
+
+TEST(Verifier, ReadBeforeWriteOfLiveValueIsFatal)
+{
+    KernelBuilder kb("rbw", 1);
+    uint16_t lv = kb.newLiveValue();
+    BlockRef e = kb.block("entry");
+    // Reads lv which no block has written.
+    Operand addr = e.elemAddr(Operand::param(0),
+                              Operand::special(SpecialReg::Tid));
+    e.store(Type::I32, addr, e.in(lv));
+    e.exit();
+    EXPECT_THROW(kb.finish(), std::runtime_error);
+}
+
+TEST(Verifier, LiveValueWrittenOnOnlyOnePathIsFatal)
+{
+    KernelBuilder kb("onepath", 1);
+    uint16_t lv = kb.newLiveValue();
+    BlockRef e = kb.block("entry");
+    BlockRef t = kb.block("then");
+    BlockRef j = kb.block("join");
+    Operand tid = Operand::special(SpecialReg::Tid);
+    e.branch(tid, t, j);
+    t.out(lv, Operand::constI32(7));
+    t.jump(j);
+    Operand addr = j.elemAddr(Operand::param(0), tid);
+    j.store(Type::I32, addr, j.in(lv));  // lv unwritten on the e->j path
+    j.exit();
+    EXPECT_THROW(kb.finish(), std::runtime_error);
+}
+
+TEST(Verifier, LiveValueWrittenOnBothPathsIsAccepted)
+{
+    KernelBuilder kb("bothpaths", 1);
+    uint16_t lv = kb.newLiveValue();
+    BlockRef e = kb.block("entry");
+    BlockRef t = kb.block("then");
+    BlockRef f = kb.block("else");
+    BlockRef j = kb.block("join");
+    Operand tid = Operand::special(SpecialReg::Tid);
+    e.branch(tid, t, f);
+    t.out(lv, Operand::constI32(7));
+    t.jump(j);
+    f.out(lv, Operand::constI32(8));
+    f.jump(j);
+    Operand addr = j.elemAddr(Operand::param(0), tid);
+    j.store(Type::I32, addr, j.in(lv));
+    j.exit();
+    EXPECT_NO_THROW(kb.finish());
+}
+
+TEST(Verifier, LoopCarriedLiveValueIsAccepted)
+{
+    // makeLoopKernel reads lv_i/lv_acc in the loop head, written by both
+    // the entry and the body; the fixpoint analysis must accept it.
+    EXPECT_NO_THROW(testing::makeLoopKernel());
+}
+
+} // namespace
+} // namespace vgiw

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "helpers/test_kernels.hh"
+#include "ir/post_dominators.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(PostDominators, Fig1ReconvergesAtBB6)
+{
+    Kernel k = testing::makeFig1Kernel();
+    PostDominators pd(k);
+    // BB1 (id 0) diverges into BB2/BB3; reconvergence is BB6 (id 5).
+    EXPECT_EQ(pd.ipdom(0), 5);
+    // BB3 (id 2) diverges into BB4/BB5; reconvergence is also BB6.
+    EXPECT_EQ(pd.ipdom(2), 5);
+    // Straight-line blocks post-dominated by BB6 as well.
+    EXPECT_EQ(pd.ipdom(1), 5);
+    EXPECT_EQ(pd.ipdom(3), 5);
+    EXPECT_EQ(pd.ipdom(4), 5);
+    // The exit block's only post-dominator is the virtual exit.
+    EXPECT_EQ(pd.ipdom(5), PostDominators::kVirtualExit);
+}
+
+TEST(PostDominators, LoopHeadReconvergesAtEpilogue)
+{
+    Kernel k = testing::makeLoopKernel();
+    PostDominators pd(k);
+    // head (1) branches body/done; its ipdom is done (3): every path from
+    // head eventually leaves through done.
+    EXPECT_EQ(pd.ipdom(1), 3);
+    // body always returns to head.
+    EXPECT_EQ(pd.ipdom(2), 1);
+    EXPECT_EQ(pd.ipdom(0), 1);
+    EXPECT_EQ(pd.ipdom(3), PostDominators::kVirtualExit);
+}
+
+TEST(PostDominators, PostDominatesQuery)
+{
+    Kernel k = testing::makeFig1Kernel();
+    PostDominators pd(k);
+    EXPECT_TRUE(pd.postDominates(5, 0));
+    EXPECT_TRUE(pd.postDominates(5, 3));
+    EXPECT_TRUE(pd.postDominates(3, 3));
+    EXPECT_FALSE(pd.postDominates(3, 0));  // BB4 doesn't pdom BB1
+    EXPECT_FALSE(pd.postDominates(1, 2));  // BB2 doesn't pdom BB3
+}
+
+} // namespace
+} // namespace vgiw

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "helpers/test_kernels.hh"
+#include "ir/printer.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(Printer, OperandForms)
+{
+    EXPECT_EQ(operandToString(Operand::local(3)), "%3");
+    EXPECT_EQ(operandToString(Operand::liveIn(2)), "lv2");
+    EXPECT_EQ(operandToString(Operand::param(0)), "p0");
+    EXPECT_EQ(operandToString(Operand::constI32(42)), "#42");
+    EXPECT_EQ(operandToString(Operand::constI32(-7)), "#-7");
+    EXPECT_EQ(operandToString(Operand::special(SpecialReg::Tid)), "tid");
+    EXPECT_EQ(operandToString(Operand::special(SpecialReg::CtaId)),
+              "ctaid");
+    EXPECT_EQ(operandToString(Operand{}), "_");
+}
+
+TEST(Printer, KernelDumpContainsStructure)
+{
+    Kernel k = testing::makeLoopKernel();
+    std::string s = kernelToString(k);
+    EXPECT_NE(s.find("kernel loop"), std::string::npos);
+    EXPECT_NE(s.find("live values: 2"), std::string::npos);
+    EXPECT_NE(s.find("BB0 'entry'"), std::string::npos);
+    EXPECT_NE(s.find("branch"), std::string::npos);
+    EXPECT_NE(s.find("jump BB1"), std::string::npos);  // the back edge
+    EXPECT_NE(s.find("exit"), std::string::npos);
+    EXPECT_NE(s.find("cmp.lt.i32"), std::string::npos);
+}
+
+TEST(Printer, SharedSpaceAndBarrierAnnotated)
+{
+    Kernel k = testing::makeBarrierKernel(16);
+    std::string s = kernelToString(k);
+    EXPECT_NE(s.find(".shared"), std::string::npos);
+    EXPECT_NE(s.find("[barrier]"), std::string::npos);
+    EXPECT_NE(s.find("shared: 64B/cta"), std::string::npos);
+}
+
+TEST(Printer, LiveOutsShown)
+{
+    Kernel k = testing::makeLoopKernel();
+    std::string s = kernelToString(k);
+    EXPECT_NE(s.find("lv0 <- "), std::string::npos);
+    EXPECT_NE(s.find("lv1 <- "), std::string::npos);
+}
+
+} // namespace
+} // namespace vgiw

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Verifier tests on hand-constructed (builder-bypassing) kernels: the
+ * structural checks that a well-behaved builder can never trigger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+Kernel
+skeleton()
+{
+    Kernel k;
+    k.name = "hand";
+    k.numParams = 1;
+    k.numLiveValues = 1;
+    k.blocks.emplace_back();
+    k.blocks[0].name = "entry";
+    k.blocks[0].term.kind = TermKind::Exit;
+    return k;
+}
+
+TEST(VerifierInternal, AcceptsMinimalKernel)
+{
+    Kernel k = skeleton();
+    EXPECT_NO_THROW(verifyKernel(k));
+}
+
+TEST(VerifierInternal, RejectsBranchTargetOutOfRange)
+{
+    Kernel k = skeleton();
+    k.blocks[0].term.kind = TermKind::Jump;
+    k.blocks[0].term.target[0] = 5;
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+TEST(VerifierInternal, RejectsMissingOperand)
+{
+    Kernel k = skeleton();
+    Instr add;
+    add.op = Opcode::Add;
+    add.src = {Operand::constI32(1), Operand{}, Operand{}};  // arity 2
+    k.blocks[0].instrs.push_back(add);
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+TEST(VerifierInternal, RejectsExcessOperand)
+{
+    Kernel k = skeleton();
+    Instr neg;
+    neg.op = Opcode::Neg;  // arity 1
+    neg.src = {Operand::constI32(1), Operand::constI32(2), Operand{}};
+    k.blocks[0].instrs.push_back(neg);
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+TEST(VerifierInternal, RejectsForwardLocalReference)
+{
+    Kernel k = skeleton();
+    Instr a;
+    a.op = Opcode::Add;
+    a.src = {Operand::local(1), Operand::constI32(1), Operand{}};
+    Instr b;
+    b.op = Opcode::Add;
+    b.src = {Operand::constI32(1), Operand::constI32(2), Operand{}};
+    k.blocks[0].instrs = {a, b};  // %0 reads %1: not strictly earlier
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+TEST(VerifierInternal, RejectsSelfLocalReference)
+{
+    Kernel k = skeleton();
+    Instr a;
+    a.op = Opcode::Add;
+    a.src = {Operand::local(0), Operand::constI32(1), Operand{}};
+    k.blocks[0].instrs = {a};
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+TEST(VerifierInternal, RejectsOutOfRangeParam)
+{
+    Kernel k = skeleton();
+    Instr a;
+    a.op = Opcode::Not;
+    a.src = {Operand::param(3), Operand{}, Operand{}};  // only 1 param
+    k.blocks[0].instrs = {a};
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+TEST(VerifierInternal, RejectsOutOfRangeLiveValueId)
+{
+    Kernel k = skeleton();
+    k.blocks[0].liveOuts.push_back(
+        LiveOut{7, Operand::constI32(0)});  // only lvid 0 declared
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+TEST(VerifierInternal, RejectsBranchWithoutCondition)
+{
+    Kernel k = skeleton();
+    k.blocks.emplace_back();
+    k.blocks[1].name = "other";
+    k.blocks[1].term.kind = TermKind::Exit;
+    k.blocks[0].term.kind = TermKind::Branch;
+    k.blocks[0].term.target[0] = 1;
+    k.blocks[0].term.target[1] = 1;
+    k.blocks[0].term.cond = Operand{};  // None
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+TEST(VerifierInternal, RejectsEmptyKernel)
+{
+    Kernel k;
+    k.name = "empty";
+    EXPECT_THROW(verifyKernel(k), std::runtime_error);
+}
+
+} // namespace
+} // namespace vgiw

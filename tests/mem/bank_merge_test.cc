@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "mem/bank_merge.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(BankMerge, ScatteredAccessesPayPerWord)
+{
+    BankMergeModel m(4);
+    // Alternating lines on bank 0: no merging possible.
+    for (int i = 0; i < 10; ++i)
+        m.access(0, uint32_t(i % 2 == 0 ? 100 : 200));
+    EXPECT_EQ(m.maxCycles(), 10u);
+}
+
+TEST(BankMerge, SameLineRunsMergeWithinWindow)
+{
+    BankMergeModel m(4, /*window=*/8);
+    for (int i = 0; i < 8; ++i)
+        m.access(1, 42);
+    EXPECT_EQ(m.maxCycles(), 1u);  // one line transaction
+}
+
+TEST(BankMerge, WindowBoundsTheMerge)
+{
+    BankMergeModel m(4, /*window=*/8);
+    for (int i = 0; i < 20; ++i)
+        m.access(1, 42);
+    // 20 accesses / window 8 = 3 transactions.
+    EXPECT_EQ(m.maxCycles(), 3u);
+}
+
+TEST(BankMerge, BanksAreIndependent)
+{
+    BankMergeModel m(4);
+    m.access(0, 1);
+    m.access(1, 1);
+    m.access(2, 1);
+    EXPECT_EQ(m.maxCycles(), 1u);  // spread across banks
+    m.access(0, 2);
+    m.access(0, 3);
+    EXPECT_EQ(m.maxCycles(), 3u);  // bank 0 now the bottleneck
+}
+
+TEST(BankMerge, InterleavedLinesBreakRuns)
+{
+    BankMergeModel m(2, 8);
+    m.access(0, 10);
+    m.access(0, 11);
+    m.access(0, 10);  // back to line 10: new transaction
+    EXPECT_EQ(m.maxCycles(), 3u);
+}
+
+TEST(BankMerge, ResetClearsState)
+{
+    BankMergeModel m(2);
+    m.access(0, 5);
+    m.reset();
+    EXPECT_EQ(m.maxCycles(), 0u);
+    m.access(0, 5);
+    EXPECT_EQ(m.maxCycles(), 1u);
+}
+
+} // namespace
+} // namespace vgiw

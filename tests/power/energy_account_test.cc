@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(EnergyAccount, StartsEmpty)
+{
+    EnergyAccount a;
+    EXPECT_EQ(a.corePj(), 0.0);
+    EXPECT_EQ(a.diePj(), 0.0);
+    EXPECT_EQ(a.systemPj(), 0.0);
+}
+
+TEST(EnergyAccount, AddAccumulatesPerComponent)
+{
+    EnergyAccount a;
+    a.add(EnergyComponent::Datapath, 10.0);
+    a.add(EnergyComponent::Datapath, 5.0);
+    a.add(EnergyComponent::L1, 7.0);
+    EXPECT_EQ(a.get(EnergyComponent::Datapath), 15.0);
+    EXPECT_EQ(a.get(EnergyComponent::L1), 7.0);
+    EXPECT_EQ(a.get(EnergyComponent::Dram), 0.0);
+}
+
+TEST(EnergyAccount, LevelAggregationMatchesFig10Definitions)
+{
+    // Fig. 10: core = compute engine (incl. LVC/CVT or RF); die = core +
+    // caches; system = die + DRAM.
+    EnergyAccount a;
+    a.add(EnergyComponent::Datapath, 1.0);
+    a.add(EnergyComponent::Frontend, 2.0);
+    a.add(EnergyComponent::RegisterFile, 4.0);
+    a.add(EnergyComponent::TokenFabric, 8.0);
+    a.add(EnergyComponent::Lvc, 16.0);
+    a.add(EnergyComponent::Cvt, 32.0);
+    a.add(EnergyComponent::Config, 64.0);
+    a.add(EnergyComponent::Scratchpad, 128.0);
+    a.add(EnergyComponent::L1, 256.0);
+    a.add(EnergyComponent::L2, 512.0);
+    a.add(EnergyComponent::Dram, 1024.0);
+
+    EXPECT_EQ(a.corePj(), 255.0);
+    EXPECT_EQ(a.diePj(), 255.0 + 256.0 + 512.0);
+    EXPECT_EQ(a.systemPj(), a.diePj() + 1024.0);
+}
+
+TEST(EnergyAccount, MergeSums)
+{
+    EnergyAccount a, b;
+    a.add(EnergyComponent::L1, 3.0);
+    b.add(EnergyComponent::L1, 4.0);
+    b.add(EnergyComponent::Dram, 9.0);
+    a.merge(b);
+    EXPECT_EQ(a.get(EnergyComponent::L1), 7.0);
+    EXPECT_EQ(a.get(EnergyComponent::Dram), 9.0);
+}
+
+TEST(EnergyTable, VonNeumannOverheadsDominatePerOpCosts)
+{
+    // The premise the paper builds on ([3,4]): the per-warp front-end
+    // and RF costs dwarf the per-op datapath energy, so removing them
+    // (dataflow) and replacing with cheap token movement wins.
+    EnergyTable t;
+    EXPECT_GT(t.frontendWarpInstr, 10 * t.fpAluOp);
+    EXPECT_GT(t.rfAccessWarp, 10 * t.fpAluOp);
+    EXPECT_LT(t.tokenBufferRw + 2 * t.tokenHop, t.fpAluOp);
+    EXPECT_LT(t.lvcAccessWord, t.rfAccessWarp / 32);
+    // Memory hierarchy energies are ordered.
+    EXPECT_LT(t.l1AccessWord, t.l2AccessLine);
+    EXPECT_LT(t.l2AccessLine, t.dramAccessLine);
+}
+
+TEST(EnergyComponentNames, AllDistinct)
+{
+    for (size_t i = 0; i < kNumEnergyComponents; ++i) {
+        for (size_t j = i + 1; j < kNumEnergyComponents; ++j) {
+            EXPECT_STRNE(energyComponentName(EnergyComponent(i)),
+                         energyComponentName(EnergyComponent(j)));
+        }
+    }
+}
+
+} // namespace
+} // namespace vgiw

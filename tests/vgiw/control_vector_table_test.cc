@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "vgiw/control_vector_table.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(ThreadBatch, PacksAlignedWindows)
+{
+    auto batches = packBatches({0, 1, 63, 64, 130});
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[0].base, 0u);
+    EXPECT_EQ(batches[0].bitmap,
+              (uint64_t{1} << 0) | (uint64_t{1} << 1) | (uint64_t{1} << 63));
+    EXPECT_EQ(batches[1].base, 64u);
+    EXPECT_EQ(batches[1].bitmap, 1u);
+    EXPECT_EQ(batches[2].base, 128u);
+    EXPECT_EQ(batches[2].bitmap, uint64_t{1} << 2);
+}
+
+TEST(ThreadBatch, RoundTripsThreadIds)
+{
+    std::vector<uint32_t> tids{3, 5, 64, 66, 127, 300};
+    std::vector<uint32_t> back;
+    for (const auto &b : packBatches(tids))
+        for (uint32_t t : b.threadIds())
+            back.push_back(t);
+    EXPECT_EQ(back, tids);
+}
+
+TEST(ThreadBatch, CountMatchesPopcount)
+{
+    ThreadBatch b{64, 0b1011};
+    EXPECT_EQ(b.count(), 3);
+}
+
+TEST(Cvt, SeedsEntryVector)
+{
+    ControlVectorTable cvt(4, 100);
+    cvt.seedEntry(100);
+    EXPECT_EQ(cvt.pendingCount(0), 100u);
+    EXPECT_EQ(cvt.pendingCount(1), 0u);
+    EXPECT_EQ(cvt.firstPendingBlock(), 0);
+}
+
+TEST(Cvt, SchedulerPicksSmallestBlockId)
+{
+    ControlVectorTable cvt(6, 64);
+    cvt.set(4, 7);
+    cvt.set(2, 3);
+    cvt.set(5, 1);
+    EXPECT_EQ(cvt.firstPendingBlock(), 2);
+    cvt.drain(2);
+    EXPECT_EQ(cvt.firstPendingBlock(), 4);
+}
+
+TEST(Cvt, DrainIsReadAndReset)
+{
+    ControlVectorTable cvt(3, 128);
+    cvt.set(1, 5);
+    cvt.set(1, 70);
+    auto tids = cvt.drain(1);
+    ASSERT_EQ(tids.size(), 2u);
+    EXPECT_EQ(tids[0], 5u);
+    EXPECT_EQ(tids[1], 70u);
+    EXPECT_EQ(cvt.pendingCount(1), 0u);
+    EXPECT_FALSE(cvt.anyPending());
+}
+
+TEST(Cvt, OrBatchMergesMultipleControlFlows)
+{
+    // A block reached by two different control flows must accumulate
+    // both thread sets (the OR requirement of Section 3.2).
+    ControlVectorTable cvt(3, 64);
+    cvt.orBatch(2, ThreadBatch{0, 0b0011});
+    cvt.orBatch(2, ThreadBatch{0, 0b1010});
+    EXPECT_EQ(cvt.pendingCount(2), 3u);
+    auto tids = cvt.drain(2);
+    EXPECT_EQ(tids, (std::vector<uint32_t>{0, 1, 3}));
+}
+
+TEST(Cvt, ThreadRegisteredInOnlyOneVector)
+{
+    // Drain-then-register keeps the invariant that a thread ID's bit is
+    // set in at most one table entry.
+    ControlVectorTable cvt(4, 64);
+    cvt.seedEntry(8);
+    auto tids = cvt.drain(0);
+    for (uint32_t t : tids)
+        cvt.set(t % 2 ? 1 : 2, t);
+    size_t total = 0;
+    for (int b = 0; b < 4; ++b)
+        total += cvt.pendingCount(b);
+    EXPECT_EQ(total, 8u);
+}
+
+TEST(Cvt, CountsWordAccesses)
+{
+    ControlVectorTable cvt(2, 256);
+    cvt.seedEntry(256);            // 4 word writes
+    cvt.drain(0);                  // 4 word reads
+    cvt.orBatch(1, ThreadBatch{0, 1});  // 1 word write
+    EXPECT_EQ(cvt.stats().wordWrites, 5u);
+    EXPECT_EQ(cvt.stats().wordReads, 4u);
+}
+
+} // namespace
+} // namespace vgiw

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * vgiw_run — command-line driver for the simulator.
+ *
+ *   vgiw_run --list
+ *   vgiw_run --workload BFS/Kernel [--arch vgiw|fermi|sgmf|all]
+ *            [--lvc-bytes N] [--cvt-bits N] [--no-replication]
+ *            [--coalescing] [--dump-ir] [--verbose]
+ *
+ * Runs one Table 2 workload (functional execution + golden check, then
+ * the requested core models) and prints a RunStats report. This is the
+ * tool a user reaches for before scripting against the library API.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "driver/runner.hh"
+#include "ir/printer.hh"
+#include "workloads/workload.hh"
+
+using namespace vgiw;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: vgiw_run --workload <suite/kernel> [options]\n"
+        "       vgiw_run --list\n"
+        "\n"
+        "options:\n"
+        "  --arch <vgiw|fermi|sgmf|all>   core model(s) to run "
+        "(default: all)\n"
+        "  --lvc-bytes <n>                LVC capacity (default 65536)\n"
+        "  --cvt-bits <n>                 CVT capacity (default 65536)\n"
+        "  --no-replication               disable block replication\n"
+        "  --coalescing                   enable the future-work "
+        "inter-thread coalescer\n"
+        "  --dump-ir                      print the kernel IR before "
+        "running\n"
+        "  --verbose                      per-component energy "
+        "breakdown\n");
+}
+
+void
+printStats(const RunStats &rs, bool verbose)
+{
+    if (!rs.supported) {
+        std::printf("%-6s: unsupported (kernel CDFG exceeds the SGMF "
+                    "fabric)\n",
+                    rs.arch.c_str());
+        return;
+    }
+    std::printf("%-6s: %llu cycles", rs.arch.c_str(),
+                (unsigned long long)rs.cycles);
+    if (rs.reconfigs) {
+        std::printf(" (%llu reconfigs, %.2f%% overhead)",
+                    (unsigned long long)rs.reconfigs,
+                    100.0 * rs.configOverheadFraction());
+    }
+    std::printf("\n        energy: core %.1f nJ, die %.1f nJ, system "
+                "%.1f nJ\n",
+                rs.energy.corePj() / 1e3, rs.energy.diePj() / 1e3,
+                rs.energy.systemPj() / 1e3);
+    std::printf("        L1 %.1f%% miss | L2 %.1f%% miss | DRAM %llu "
+                "lines (row hit %.0f%%)\n",
+                100.0 * rs.l1Stats.missRate(),
+                100.0 * rs.l2Stats.missRate(),
+                (unsigned long long)rs.dramStats.accesses,
+                100.0 * rs.dramStats.rowHitRate());
+    if (rs.rfAccesses)
+        std::printf("        RF accesses: %llu (per warp operand)\n",
+                    (unsigned long long)rs.rfAccesses);
+    if (rs.lvcAccesses)
+        std::printf("        LVC accesses: %llu (%.1f%% miss)\n",
+                    (unsigned long long)rs.lvcAccesses,
+                    100.0 * rs.lvcStats.missRate());
+    if (verbose) {
+        for (size_t c = 0; c < kNumEnergyComponents; ++c) {
+            const double pj = rs.energy.get(EnergyComponent(c));
+            if (pj > 0) {
+                std::printf("        energy[%-13s] %12.1f pJ\n",
+                            energyComponentName(EnergyComponent(c)), pj);
+            }
+        }
+        for (const auto &[name, value] : rs.extra.entries())
+            std::printf("        %-28s %g\n", name.c_str(), value);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload, arch = "all";
+    VgiwConfig vcfg;
+    bool dump_ir = false, verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--list") {
+            for (const auto &e : workloadRegistry())
+                std::printf("%s\n", e.name.c_str());
+            return 0;
+        } else if (a == "--workload") {
+            workload = next();
+        } else if (a == "--arch") {
+            arch = next();
+        } else if (a == "--lvc-bytes") {
+            vcfg.lvcBytes = uint32_t(std::stoul(next()));
+        } else if (a == "--cvt-bits") {
+            vcfg.cvtCapacityBits = uint32_t(std::stoul(next()));
+        } else if (a == "--no-replication") {
+            vcfg.enableReplication = false;
+        } else if (a == "--coalescing") {
+            vcfg.enableMemoryCoalescing = true;
+        } else if (a == "--dump-ir") {
+            dump_ir = true;
+        } else if (a == "--verbose") {
+            verbose = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (workload.empty()) {
+        usage();
+        return 2;
+    }
+
+    WorkloadInstance w = makeWorkload(workload);
+    std::printf("workload %s (%s): %d blocks, %d threads (%d CTAs x "
+                "%d)\n\n",
+                w.fullName().c_str(), w.domain.c_str(),
+                w.kernel.numBlocks(), w.launch.numThreads(),
+                w.launch.numCtas, w.launch.ctaSize);
+    if (dump_ir) {
+        std::printf("%s\n", kernelToString(w.kernel).c_str());
+    }
+
+    SystemConfig cfg;
+    cfg.vgiw = vcfg;
+    Runner runner(cfg);
+    bool golden = false;
+    std::string err;
+    TraceSet traces = runner.trace(w, &golden, &err);
+    std::printf("golden check: %s\n\n",
+                golden ? "PASSED" : ("FAILED: " + err).c_str());
+    if (!golden)
+        return 1;
+
+    if (arch == "vgiw" || arch == "all")
+        printStats(VgiwCore(cfg.vgiw).run(traces), verbose);
+    if (arch == "fermi" || arch == "all")
+        printStats(FermiCore(cfg.fermi).run(traces), verbose);
+    if (arch == "sgmf" || arch == "all")
+        printStats(SgmfCore(cfg.sgmf).run(traces), verbose);
+    return 0;
+}
