@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgrf/block_splitter.cc" "src/CMakeFiles/vgiwsim.dir/cgrf/block_splitter.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/cgrf/block_splitter.cc.o.d"
+  "/root/repo/src/cgrf/dataflow_graph.cc" "src/CMakeFiles/vgiwsim.dir/cgrf/dataflow_graph.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/cgrf/dataflow_graph.cc.o.d"
+  "/root/repo/src/cgrf/grid.cc" "src/CMakeFiles/vgiwsim.dir/cgrf/grid.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/cgrf/grid.cc.o.d"
+  "/root/repo/src/cgrf/placer.cc" "src/CMakeFiles/vgiwsim.dir/cgrf/placer.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/cgrf/placer.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/vgiwsim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/scalar.cc" "src/CMakeFiles/vgiwsim.dir/common/scalar.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/common/scalar.cc.o.d"
+  "/root/repo/src/driver/runner.cc" "src/CMakeFiles/vgiwsim.dir/driver/runner.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/driver/runner.cc.o.d"
+  "/root/repo/src/driver/system_config.cc" "src/CMakeFiles/vgiwsim.dir/driver/system_config.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/driver/system_config.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/CMakeFiles/vgiwsim.dir/interp/interpreter.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/interp/interpreter.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/vgiwsim.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/kernel.cc" "src/CMakeFiles/vgiwsim.dir/ir/kernel.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/ir/kernel.cc.o.d"
+  "/root/repo/src/ir/op_counts.cc" "src/CMakeFiles/vgiwsim.dir/ir/op_counts.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/ir/op_counts.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/CMakeFiles/vgiwsim.dir/ir/opcode.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/ir/opcode.cc.o.d"
+  "/root/repo/src/ir/post_dominators.cc" "src/CMakeFiles/vgiwsim.dir/ir/post_dominators.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/ir/post_dominators.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/vgiwsim.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/vgiwsim.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/ir/verifier.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/vgiwsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/vgiwsim.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/vgiwsim.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/power/energy_model.cc" "src/CMakeFiles/vgiwsim.dir/power/energy_model.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/power/energy_model.cc.o.d"
+  "/root/repo/src/sgmf/sgmf_core.cc" "src/CMakeFiles/vgiwsim.dir/sgmf/sgmf_core.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/sgmf/sgmf_core.cc.o.d"
+  "/root/repo/src/simt/fermi_core.cc" "src/CMakeFiles/vgiwsim.dir/simt/fermi_core.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/simt/fermi_core.cc.o.d"
+  "/root/repo/src/simt/simt_stack.cc" "src/CMakeFiles/vgiwsim.dir/simt/simt_stack.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/simt/simt_stack.cc.o.d"
+  "/root/repo/src/vgiw/control_vector_table.cc" "src/CMakeFiles/vgiwsim.dir/vgiw/control_vector_table.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/vgiw/control_vector_table.cc.o.d"
+  "/root/repo/src/vgiw/live_value_cache.cc" "src/CMakeFiles/vgiwsim.dir/vgiw/live_value_cache.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/vgiw/live_value_cache.cc.o.d"
+  "/root/repo/src/vgiw/thread_batch.cc" "src/CMakeFiles/vgiwsim.dir/vgiw/thread_batch.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/vgiw/thread_batch.cc.o.d"
+  "/root/repo/src/vgiw/vgiw_core.cc" "src/CMakeFiles/vgiwsim.dir/vgiw/vgiw_core.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/vgiw/vgiw_core.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/vgiwsim.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/bpnn.cc" "src/CMakeFiles/vgiwsim.dir/workloads/bpnn.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/bpnn.cc.o.d"
+  "/root/repo/src/workloads/cfd.cc" "src/CMakeFiles/vgiwsim.dir/workloads/cfd.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/cfd.cc.o.d"
+  "/root/repo/src/workloads/gaussian.cc" "src/CMakeFiles/vgiwsim.dir/workloads/gaussian.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/gaussian.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/CMakeFiles/vgiwsim.dir/workloads/hotspot.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/hotspot.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/CMakeFiles/vgiwsim.dir/workloads/kmeans.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/kmeans.cc.o.d"
+  "/root/repo/src/workloads/lavamd.cc" "src/CMakeFiles/vgiwsim.dir/workloads/lavamd.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/lavamd.cc.o.d"
+  "/root/repo/src/workloads/lud.cc" "src/CMakeFiles/vgiwsim.dir/workloads/lud.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/lud.cc.o.d"
+  "/root/repo/src/workloads/nn.cc" "src/CMakeFiles/vgiwsim.dir/workloads/nn.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/nn.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/CMakeFiles/vgiwsim.dir/workloads/nw.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/nw.cc.o.d"
+  "/root/repo/src/workloads/particle_filter.cc" "src/CMakeFiles/vgiwsim.dir/workloads/particle_filter.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/particle_filter.cc.o.d"
+  "/root/repo/src/workloads/streamcluster.cc" "src/CMakeFiles/vgiwsim.dir/workloads/streamcluster.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/vgiwsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/vgiwsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
