@@ -23,19 +23,38 @@ main()
     SystemConfig ext;
     ext.vgiw.enableMemoryCoalescing = true;
 
-    Runner runner(base);
+    // Three replays per kernel (plain VGIW, coalescing VGIW, Fermi) of
+    // one shared trace, sharded over the engine's worker pool.
+    std::vector<ExperimentJob> jobs;
+    for (const auto &entry : workloadRegistry()) {
+        ExperimentJob plain;
+        plain.workload = entry.name;
+        plain.configLabel = "baseline";
+        plain.config = base;
+        jobs.push_back(plain);
+
+        ExperimentJob coal = plain;
+        coal.configLabel = "coalescing";
+        coal.config = ext;
+        jobs.push_back(std::move(coal));
+
+        ExperimentJob fermi = plain;
+        fermi.arch = "fermi";
+        jobs.push_back(std::move(fermi));
+    }
+    ExperimentEngine engine;
+    auto results = engine.run(jobs);
+
     std::printf("  %-28s %11s %11s %9s %12s\n", "kernel", "baseline",
                 "coalesced", "gain", "vs Fermi now");
     std::vector<double> gains;
-    for (const auto &entry : workloadRegistry()) {
-        WorkloadInstance w = entry.make();
-        TraceSet traces = runner.trace(w);
-        RunStats plain = VgiwCore(base.vgiw).run(traces);
-        RunStats coal = VgiwCore(ext.vgiw).run(traces);
-        RunStats fermi = FermiCore(base.fermi).run(traces);
+    for (size_t k = 0; k < workloadRegistry().size(); ++k) {
+        const RunStats &plain = results[3 * k].stats;
+        const RunStats &coal = results[3 * k + 1].stats;
+        const RunStats &fermi = results[3 * k + 2].stats;
         const double gain = double(plain.cycles) / double(coal.cycles);
         std::printf("  %-28s %11llu %11llu %8.2fx %11.2fx\n",
-                    entry.name.c_str(),
+                    workloadRegistry()[k].name.c_str(),
                     (unsigned long long)plain.cycles,
                     (unsigned long long)coal.cycles, gain,
                     double(fermi.cycles) / double(coal.cycles));

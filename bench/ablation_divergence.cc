@@ -11,7 +11,6 @@
 #include "bench_util.hh"
 
 #include "common/rng.hh"
-#include "interp/interpreter.hh"
 #include "ir/builder.hh"
 
 namespace
@@ -83,31 +82,56 @@ main()
 
     Kernel k = buildSwitchKernel();
     const int threads = 4096;
-    Rng rng(99);
+    const int pcts[] = {0, 25, 50, 75, 100};
+
+    // A synthetic (non-registry) sweep: each divergence level is a
+    // custom-make job the engine traces once and replays on all three
+    // architectures in parallel.
+    auto makeAt = [&k, threads](int pct) {
+        return [&k, threads, pct]() {
+            Rng rng(99 + uint64_t(pct));
+            WorkloadInstance w;
+            w.suite = "SYNTH";
+            w.domain = "Divergence Sweep";
+            w.kernel = k;
+            w.memory = MemoryImage(1 << 22);
+            const uint32_t in = w.memory.allocWords(threads);
+            const uint32_t out = w.memory.allocWords(threads);
+            for (int i = 0; i < threads; ++i) {
+                // pct% of threads draw a random arm, the rest arm 0.
+                int32_t v = int32_t(rng.next() & 0x7ffc);  // arm bits 0
+                if (int(rng.nextUInt(100)) < pct)
+                    v |= int32_t(rng.nextUInt(4));
+                w.memory.storeI32(in, uint32_t(i), v);
+            }
+            w.launch.numCtas = threads / 256;
+            w.launch.ctaSize = 256;
+            w.launch.params = {Scalar::fromU32(in), Scalar::fromU32(out)};
+            return w;
+        };
+    };
+
+    std::vector<ExperimentJob> jobs;
+    for (int pct : pcts) {
+        for (const char *arch : {"vgiw", "fermi", "sgmf"}) {
+            ExperimentJob job;
+            job.workload =
+                "SYNTH/divergence_" + std::to_string(pct) + "pct";
+            job.arch = arch;
+            job.make = makeAt(pct);
+            jobs.push_back(std::move(job));
+        }
+    }
+    ExperimentEngine engine;
+    auto results = engine.run(jobs);
 
     std::printf("  %10s %12s %12s %12s %14s\n", "divergent",
                 "VGIW cyc", "Fermi cyc", "SGMF cyc", "VGIW/Fermi");
-    for (int pct : {0, 25, 50, 75, 100}) {
-        MemoryImage mem(1 << 22);
-        const uint32_t in = mem.allocWords(threads);
-        const uint32_t out = mem.allocWords(threads);
-        for (int i = 0; i < threads; ++i) {
-            // pct% of threads draw a random arm, the rest take arm 0.
-            int32_t v = int32_t(rng.next() & 0x7ffc);  // arm bits zero
-            if (int(rng.nextUInt(100)) < pct)
-                v |= int32_t(rng.nextUInt(4));
-            mem.storeI32(in, uint32_t(i), v);
-        }
-        LaunchParams lp;
-        lp.numCtas = threads / 256;
-        lp.ctaSize = 256;
-        lp.params = {Scalar::fromU32(in), Scalar::fromU32(out)};
-        TraceSet traces = Interpreter{}.run(k, lp, mem);
-
-        RunStats v = VgiwCore{}.run(traces);
-        RunStats f = FermiCore{}.run(traces);
-        RunStats s = SgmfCore{}.run(traces);
-        std::printf("  %9d%% %12llu %12llu %12llu %13.2fx\n", pct,
+    for (size_t p = 0; p < std::size(pcts); ++p) {
+        const RunStats &v = results[3 * p].stats;
+        const RunStats &f = results[3 * p + 1].stats;
+        const RunStats &s = results[3 * p + 2].stats;
+        std::printf("  %9d%% %12llu %12llu %12llu %13.2fx\n", pcts[p],
                     (unsigned long long)v.cycles,
                     (unsigned long long)f.cycles,
                     (unsigned long long)(s.supported ? s.cycles : 0),

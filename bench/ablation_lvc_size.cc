@@ -20,19 +20,30 @@ main()
                              "LUD/lud_perimeter", "SM/compute_cost"};
     const uint32_t sizes[] = {1024, 4096, 16384, 65536, 262144};
 
-    Runner runner;
+    // One job per (kernel, LVC size); each kernel is traced once by the
+    // engine's shared cache and the 5 config points replay in parallel.
+    std::vector<ExperimentJob> jobs;
     for (const char *name : kernels) {
-        WorkloadInstance w = makeWorkload(name);
-        TraceSet traces = runner.trace(w);
-        std::printf("\n  %s\n", name);
+        for (uint32_t size : sizes) {
+            ExperimentJob job;
+            job.workload = name;
+            job.configLabel = "lvc=" + std::to_string(size / 1024) + "KB";
+            job.config.vgiw.lvcBytes = size;
+            jobs.push_back(std::move(job));
+        }
+    }
+    ExperimentEngine engine;
+    auto results = engine.run(jobs);
+
+    const size_t n_sizes = std::size(sizes);
+    for (size_t k = 0; k < std::size(kernels); ++k) {
+        std::printf("\n  %s\n", kernels[k]);
         std::printf("    %10s %12s %12s %12s\n", "LVC size", "cycles",
                     "miss rate", "L2 spills");
-        for (uint32_t size : sizes) {
-            VgiwConfig cfg;
-            cfg.lvcBytes = size;
-            RunStats rs = VgiwCore(cfg).run(traces);
-            std::printf("    %8uKB %12llu %11.1f%% %12llu\n", size / 1024,
-                        (unsigned long long)rs.cycles,
+        for (size_t s = 0; s < n_sizes; ++s) {
+            const RunStats &rs = results[k * n_sizes + s].stats;
+            std::printf("    %8uKB %12llu %11.1f%% %12llu\n",
+                        sizes[s] / 1024, (unsigned long long)rs.cycles,
                         100.0 * rs.lvcStats.missRate(),
                         (unsigned long long)rs.lvcStats.writebacks);
         }

@@ -20,17 +20,31 @@ main()
     SystemConfig without;
     without.vgiw.enableReplication = false;
 
-    Runner r_with(with), r_without(without);
+    // Two VGIW config points per kernel, one functional execution each
+    // thanks to the engine's trace cache.
+    std::vector<ExperimentJob> jobs;
+    for (const auto &entry : workloadRegistry()) {
+        for (const auto *cfg : {&with, &without}) {
+            ExperimentJob job;
+            job.workload = entry.name;
+            job.configLabel =
+                cfg == &with ? "replicated" : "no-replication";
+            job.config = *cfg;
+            jobs.push_back(std::move(job));
+        }
+    }
+    ExperimentEngine engine;
+    auto results = engine.run(jobs);
+
     std::vector<double> slowdowns;
     std::printf("  %-28s %12s %12s %9s\n", "kernel", "replicated",
                 "1 replica", "speedup");
-    for (const auto &entry : workloadRegistry()) {
-        WorkloadInstance w = entry.make();
-        TraceSet traces = r_with.trace(w);
-        RunStats a = VgiwCore(with.vgiw).run(traces);
-        RunStats b = VgiwCore(without.vgiw).run(traces);
+    for (size_t k = 0; k < workloadRegistry().size(); ++k) {
+        const RunStats &a = results[2 * k].stats;
+        const RunStats &b = results[2 * k + 1].stats;
         const double s = double(b.cycles) / double(a.cycles);
-        std::printf("  %-28s %12llu %12llu %8.2fx\n", entry.name.c_str(),
+        std::printf("  %-28s %12llu %12llu %8.2fx\n",
+                    workloadRegistry()[k].name.c_str(),
                     (unsigned long long)a.cycles,
                     (unsigned long long)b.cycles, s);
         slowdowns.push_back(s);

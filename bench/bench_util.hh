@@ -13,24 +13,24 @@
 #include <string>
 #include <vector>
 
+#include "driver/experiment_engine.hh"
 #include "driver/runner.hh"
 #include "workloads/workload.hh"
 
 namespace vgiw::bench
 {
 
-/** Run every Table 2 kernel on all three architectures. */
+/**
+ * Run every Table 2 kernel on all three architectures. The sweep is
+ * sharded over the experiment engine's worker pool (hardware
+ * concurrency by default); results come back in registry order and are
+ * bit-identical to a serial run.
+ */
 inline std::vector<ArchComparison>
-runSuite(const SystemConfig &cfg = {})
+runSuite(const SystemConfig &cfg = {}, unsigned jobs = 0)
 {
-    Runner runner(cfg);
-    std::vector<ArchComparison> out;
-    for (const auto &entry : workloadRegistry()) {
-        WorkloadInstance w = entry.make();
-        out.push_back(runner.compare(w));
-        std::fflush(stdout);
-    }
-    return out;
+    ExperimentEngine engine{EngineOptions{jobs}};
+    return engine.compareSuite(cfg);
 }
 
 /** Geometric mean of positive values. */

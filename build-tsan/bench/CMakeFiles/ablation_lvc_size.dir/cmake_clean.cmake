@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lvc_size.dir/ablation_lvc_size.cc.o"
+  "CMakeFiles/ablation_lvc_size.dir/ablation_lvc_size.cc.o.d"
+  "ablation_lvc_size"
+  "ablation_lvc_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lvc_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

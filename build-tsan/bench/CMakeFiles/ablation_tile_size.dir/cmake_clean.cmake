@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tile_size.dir/ablation_tile_size.cc.o"
+  "CMakeFiles/ablation_tile_size.dir/ablation_tile_size.cc.o.d"
+  "ablation_tile_size"
+  "ablation_tile_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tile_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_lvc_vs_rf.dir/fig03_lvc_vs_rf.cc.o"
+  "CMakeFiles/fig03_lvc_vs_rf.dir/fig03_lvc_vs_rf.cc.o.d"
+  "fig03_lvc_vs_rf"
+  "fig03_lvc_vs_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lvc_vs_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_lvc_vs_rf.
+# This may be replaced when dependencies are built.

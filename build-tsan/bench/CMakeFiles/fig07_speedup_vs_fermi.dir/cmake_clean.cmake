@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_speedup_vs_fermi.dir/fig07_speedup_vs_fermi.cc.o"
+  "CMakeFiles/fig07_speedup_vs_fermi.dir/fig07_speedup_vs_fermi.cc.o.d"
+  "fig07_speedup_vs_fermi"
+  "fig07_speedup_vs_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_speedup_vs_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

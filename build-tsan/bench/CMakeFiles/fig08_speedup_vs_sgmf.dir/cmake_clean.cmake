@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_speedup_vs_sgmf.dir/fig08_speedup_vs_sgmf.cc.o"
+  "CMakeFiles/fig08_speedup_vs_sgmf.dir/fig08_speedup_vs_sgmf.cc.o.d"
+  "fig08_speedup_vs_sgmf"
+  "fig08_speedup_vs_sgmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_speedup_vs_sgmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_speedup_vs_sgmf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_energy_vs_fermi.dir/fig09_energy_vs_fermi.cc.o"
+  "CMakeFiles/fig09_energy_vs_fermi.dir/fig09_energy_vs_fermi.cc.o.d"
+  "fig09_energy_vs_fermi"
+  "fig09_energy_vs_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_energy_vs_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

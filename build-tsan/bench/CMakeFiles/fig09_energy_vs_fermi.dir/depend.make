@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_energy_vs_fermi.
+# This may be replaced when dependencies are built.

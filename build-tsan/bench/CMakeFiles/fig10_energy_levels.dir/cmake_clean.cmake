@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_energy_levels.dir/fig10_energy_levels.cc.o"
+  "CMakeFiles/fig10_energy_levels.dir/fig10_energy_levels.cc.o.d"
+  "fig10_energy_levels"
+  "fig10_energy_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

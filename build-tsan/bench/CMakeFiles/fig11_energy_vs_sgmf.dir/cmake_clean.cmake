@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_energy_vs_sgmf.dir/fig11_energy_vs_sgmf.cc.o"
+  "CMakeFiles/fig11_energy_vs_sgmf.dir/fig11_energy_vs_sgmf.cc.o.d"
+  "fig11_energy_vs_sgmf"
+  "fig11_energy_vs_sgmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_energy_vs_sgmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

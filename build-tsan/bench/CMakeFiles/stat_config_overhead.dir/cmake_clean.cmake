@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_config_overhead.dir/stat_config_overhead.cc.o"
+  "CMakeFiles/stat_config_overhead.dir/stat_config_overhead.cc.o.d"
+  "stat_config_overhead"
+  "stat_config_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_config_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

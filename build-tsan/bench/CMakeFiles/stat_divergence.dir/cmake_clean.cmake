@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_divergence.dir/stat_divergence.cc.o"
+  "CMakeFiles/stat_divergence.dir/stat_divergence.cc.o.d"
+  "stat_divergence"
+  "stat_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

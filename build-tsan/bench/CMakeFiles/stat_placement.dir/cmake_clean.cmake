@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_placement.dir/stat_placement.cc.o"
+  "CMakeFiles/stat_placement.dir/stat_placement.cc.o.d"
+  "stat_placement"
+  "stat_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

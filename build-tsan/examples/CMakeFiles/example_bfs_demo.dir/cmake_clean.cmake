@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bfs_demo.dir/bfs_demo.cc.o"
+  "CMakeFiles/example_bfs_demo.dir/bfs_demo.cc.o.d"
+  "example_bfs_demo"
+  "example_bfs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bfs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_divergence_study.dir/divergence_study.cc.o"
+  "CMakeFiles/example_divergence_study.dir/divergence_study.cc.o.d"
+  "example_divergence_study"
+  "example_divergence_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_divergence_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

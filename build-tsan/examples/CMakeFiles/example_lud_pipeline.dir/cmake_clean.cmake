@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lud_pipeline.dir/lud_pipeline.cc.o"
+  "CMakeFiles/example_lud_pipeline.dir/lud_pipeline.cc.o.d"
+  "example_lud_pipeline"
+  "example_lud_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lud_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vgiwsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cgrf/block_splitter_test.cc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/block_splitter_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/block_splitter_test.cc.o.d"
+  "/root/repo/tests/cgrf/dataflow_graph_test.cc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/dataflow_graph_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/dataflow_graph_test.cc.o.d"
+  "/root/repo/tests/cgrf/grid_test.cc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/grid_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/grid_test.cc.o.d"
+  "/root/repo/tests/cgrf/placement_quality_test.cc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/placement_quality_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/placement_quality_test.cc.o.d"
+  "/root/repo/tests/cgrf/placer_test.cc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/placer_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/placer_test.cc.o.d"
+  "/root/repo/tests/cgrf/splitter_property_test.cc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/splitter_property_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/splitter_property_test.cc.o.d"
+  "/root/repo/tests/common/bit_vector_test.cc" "tests/CMakeFiles/vgiw_tests.dir/common/bit_vector_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/common/bit_vector_test.cc.o.d"
+  "/root/repo/tests/common/common_test.cc" "tests/CMakeFiles/vgiw_tests.dir/common/common_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/common/common_test.cc.o.d"
+  "/root/repo/tests/driver/core_model_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/core_model_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/core_model_test.cc.o.d"
+  "/root/repo/tests/driver/experiment_engine_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/experiment_engine_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/experiment_engine_test.cc.o.d"
+  "/root/repo/tests/driver/occupancy_stats_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/occupancy_stats_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/occupancy_stats_test.cc.o.d"
+  "/root/repo/tests/driver/random_kernel_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/random_kernel_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/random_kernel_test.cc.o.d"
+  "/root/repo/tests/driver/runner_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/runner_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/runner_test.cc.o.d"
+  "/root/repo/tests/driver/suite_property_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/suite_property_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/suite_property_test.cc.o.d"
+  "/root/repo/tests/driver/trace_cache_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/trace_cache_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/trace_cache_test.cc.o.d"
+  "/root/repo/tests/interp/interpreter_guard_test.cc" "tests/CMakeFiles/vgiw_tests.dir/interp/interpreter_guard_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/interp/interpreter_guard_test.cc.o.d"
+  "/root/repo/tests/interp/interpreter_test.cc" "tests/CMakeFiles/vgiw_tests.dir/interp/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/interp/interpreter_test.cc.o.d"
+  "/root/repo/tests/ir/builder_test.cc" "tests/CMakeFiles/vgiw_tests.dir/ir/builder_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/ir/builder_test.cc.o.d"
+  "/root/repo/tests/ir/post_dominators_test.cc" "tests/CMakeFiles/vgiw_tests.dir/ir/post_dominators_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/ir/post_dominators_test.cc.o.d"
+  "/root/repo/tests/ir/printer_test.cc" "tests/CMakeFiles/vgiw_tests.dir/ir/printer_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/ir/printer_test.cc.o.d"
+  "/root/repo/tests/ir/verifier_internal_test.cc" "tests/CMakeFiles/vgiw_tests.dir/ir/verifier_internal_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/ir/verifier_internal_test.cc.o.d"
+  "/root/repo/tests/mem/bank_merge_test.cc" "tests/CMakeFiles/vgiw_tests.dir/mem/bank_merge_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/mem/bank_merge_test.cc.o.d"
+  "/root/repo/tests/mem/cache_test.cc" "tests/CMakeFiles/vgiw_tests.dir/mem/cache_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/mem/cache_test.cc.o.d"
+  "/root/repo/tests/mem/memory_system_test.cc" "tests/CMakeFiles/vgiw_tests.dir/mem/memory_system_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/mem/memory_system_test.cc.o.d"
+  "/root/repo/tests/power/energy_account_test.cc" "tests/CMakeFiles/vgiw_tests.dir/power/energy_account_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/power/energy_account_test.cc.o.d"
+  "/root/repo/tests/sgmf/sgmf_core_test.cc" "tests/CMakeFiles/vgiw_tests.dir/sgmf/sgmf_core_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/sgmf/sgmf_core_test.cc.o.d"
+  "/root/repo/tests/sgmf/sgmf_detail_test.cc" "tests/CMakeFiles/vgiw_tests.dir/sgmf/sgmf_detail_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/sgmf/sgmf_detail_test.cc.o.d"
+  "/root/repo/tests/simt/coalescer_test.cc" "tests/CMakeFiles/vgiw_tests.dir/simt/coalescer_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/simt/coalescer_test.cc.o.d"
+  "/root/repo/tests/simt/fermi_core_test.cc" "tests/CMakeFiles/vgiw_tests.dir/simt/fermi_core_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/simt/fermi_core_test.cc.o.d"
+  "/root/repo/tests/simt/fermi_residency_test.cc" "tests/CMakeFiles/vgiw_tests.dir/simt/fermi_residency_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/simt/fermi_residency_test.cc.o.d"
+  "/root/repo/tests/simt/simt_stack_test.cc" "tests/CMakeFiles/vgiw_tests.dir/simt/simt_stack_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/simt/simt_stack_test.cc.o.d"
+  "/root/repo/tests/vgiw/control_vector_table_test.cc" "tests/CMakeFiles/vgiw_tests.dir/vgiw/control_vector_table_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/vgiw/control_vector_table_test.cc.o.d"
+  "/root/repo/tests/vgiw/dynamic_dataflow_test.cc" "tests/CMakeFiles/vgiw_tests.dir/vgiw/dynamic_dataflow_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/vgiw/dynamic_dataflow_test.cc.o.d"
+  "/root/repo/tests/vgiw/live_value_cache_test.cc" "tests/CMakeFiles/vgiw_tests.dir/vgiw/live_value_cache_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/vgiw/live_value_cache_test.cc.o.d"
+  "/root/repo/tests/vgiw/vgiw_core_test.cc" "tests/CMakeFiles/vgiw_tests.dir/vgiw/vgiw_core_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/vgiw/vgiw_core_test.cc.o.d"
+  "/root/repo/tests/workloads/workload_golden_test.cc" "tests/CMakeFiles/vgiw_tests.dir/workloads/workload_golden_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/workloads/workload_golden_test.cc.o.d"
+  "/root/repo/tests/workloads/workload_structure_test.cc" "tests/CMakeFiles/vgiw_tests.dir/workloads/workload_structure_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/workloads/workload_structure_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/vgiwsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

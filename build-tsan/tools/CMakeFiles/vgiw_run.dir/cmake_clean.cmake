@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgiw_run.dir/vgiw_run.cc.o"
+  "CMakeFiles/vgiw_run.dir/vgiw_run.cc.o.d"
+  "vgiw_run"
+  "vgiw_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgiw_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,10 +16,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/cgrf/splitter_property_test.cc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/splitter_property_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/cgrf/splitter_property_test.cc.o.d"
   "/root/repo/tests/common/bit_vector_test.cc" "tests/CMakeFiles/vgiw_tests.dir/common/bit_vector_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/common/bit_vector_test.cc.o.d"
   "/root/repo/tests/common/common_test.cc" "tests/CMakeFiles/vgiw_tests.dir/common/common_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/common/common_test.cc.o.d"
+  "/root/repo/tests/driver/core_model_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/core_model_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/core_model_test.cc.o.d"
+  "/root/repo/tests/driver/experiment_engine_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/experiment_engine_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/experiment_engine_test.cc.o.d"
   "/root/repo/tests/driver/occupancy_stats_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/occupancy_stats_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/occupancy_stats_test.cc.o.d"
   "/root/repo/tests/driver/random_kernel_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/random_kernel_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/random_kernel_test.cc.o.d"
   "/root/repo/tests/driver/runner_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/runner_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/runner_test.cc.o.d"
   "/root/repo/tests/driver/suite_property_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/suite_property_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/suite_property_test.cc.o.d"
+  "/root/repo/tests/driver/trace_cache_test.cc" "tests/CMakeFiles/vgiw_tests.dir/driver/trace_cache_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/driver/trace_cache_test.cc.o.d"
   "/root/repo/tests/interp/interpreter_guard_test.cc" "tests/CMakeFiles/vgiw_tests.dir/interp/interpreter_guard_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/interp/interpreter_guard_test.cc.o.d"
   "/root/repo/tests/interp/interpreter_test.cc" "tests/CMakeFiles/vgiw_tests.dir/interp/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/interp/interpreter_test.cc.o.d"
   "/root/repo/tests/ir/builder_test.cc" "tests/CMakeFiles/vgiw_tests.dir/ir/builder_test.cc.o" "gcc" "tests/CMakeFiles/vgiw_tests.dir/ir/builder_test.cc.o.d"

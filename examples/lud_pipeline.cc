@@ -40,15 +40,13 @@ main()
                 "cycles", "reconfigs", "L1 miss");
     for (const char *stage : stages) {
         WorkloadInstance w = makeWorkload(stage);
-        bool ok = false;
-        std::string err;
-        TraceSet traces = runner.trace(w, &ok, &err);
-        if (!ok) {
+        TraceResult traced = runner.trace(w);
+        if (!traced.ok()) {
             std::printf("golden check failed for %s: %s\n", stage,
-                        err.c_str());
+                        traced.error.c_str());
             return 1;
         }
-        RunStats rs = VgiwCore{}.run(traces);
+        RunStats rs = VgiwCore{}.run(*traced.traces);
         std::printf("  %-22s %9d %10llu %10llu %8.1f%%\n",
                     w.kernel.name.c_str(), w.launch.numThreads(),
                     (unsigned long long)rs.cycles,

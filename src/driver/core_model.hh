@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The common interface of the three timing/energy models. Every core
+ * replays the same functional traces (bit-identical work, Section 5), so
+ * one abstract surface — name() plus a const, reentrant run() — is all
+ * the driver needs to dispatch a sweep over an arbitrary set of
+ * architectures instead of hand-written per-architecture if-chains.
+ *
+ * run() being const is a load-bearing guarantee: the experiment engine
+ * replays one shared TraceSet from many worker threads concurrently.
+ */
+
+#ifndef VGIW_DRIVER_CORE_MODEL_HH
+#define VGIW_DRIVER_CORE_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/run_stats.hh"
+#include "interp/trace.hh"
+
+namespace vgiw
+{
+
+struct SystemConfig;
+
+/** Abstract core model: a named, replayable architecture. */
+class CoreModel
+{
+  public:
+    virtual ~CoreModel() = default;
+
+    /** Stable architecture identifier ("vgiw", "fermi", "sgmf"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Replay @p traces and return timing/energy statistics. Must be
+     * reentrant: the engine calls run() on the same object and the same
+     * TraceSet from several threads at once.
+     */
+    virtual RunStats run(const TraceSet &traces) const = 0;
+};
+
+/** The architecture names every sweep understands, in report order. */
+const std::vector<std::string> &knownArchitectures();
+
+/** Whether @p arch names a concrete core model. */
+bool isKnownArchitecture(std::string_view arch);
+
+/**
+ * Instantiate the core model named @p arch with its configuration taken
+ * from @p cfg. Returns nullptr for an unknown architecture name.
+ */
+std::unique_ptr<CoreModel> makeCoreModel(std::string_view arch,
+                                         const SystemConfig &cfg);
+
+/**
+ * Instantiate the models selected by @p archSelector: a concrete
+ * architecture name or "all" (the report-order full set). Unknown
+ * selectors yield an empty list.
+ */
+std::vector<std::unique_ptr<CoreModel>>
+makeCoreModels(const SystemConfig &cfg, std::string_view archSelector = "all");
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_CORE_MODEL_HH

@@ -1,0 +1,244 @@
+#include "driver/experiment_engine.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace vgiw
+{
+
+namespace
+{
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest round-trippable decimal for a double. */
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::function<WorkloadInstance()>
+registryMake(const std::string &name)
+{
+    for (const auto &e : workloadRegistry())
+        if (e.name == name)
+            return e.make;
+    return {};
+}
+
+} // namespace
+
+std::vector<JobResult>
+ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
+{
+    std::vector<JobResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    unsigned workers = opts_.jobs ? opts_.jobs
+                                  : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    if (size_t(workers) > jobs.size())
+        workers = unsigned(jobs.size());
+
+    std::atomic<size_t> next{0};
+    std::mutex report_mu;  // serialises the progress/failure callbacks
+
+    auto work = [&]() {
+        for (size_t i; (i = next.fetch_add(1)) < jobs.size();) {
+            results[i] = runJob(jobs[i]);
+            if (opts_.onResult || (opts_.onFailure && !results[i].ok())) {
+                std::lock_guard<std::mutex> lock(report_mu);
+                if (opts_.onResult)
+                    opts_.onResult(i, results[i]);
+                if (opts_.onFailure && !results[i].ok())
+                    opts_.onFailure(results[i]);
+            }
+        }
+    };
+
+    if (workers == 1) {
+        work();  // keep single-threaded sweeps trivially debuggable
+    } else {
+        std::vector<std::jthread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(work);
+        // jthreads join on scope exit.
+    }
+    return results;
+}
+
+JobResult
+ExperimentEngine::runJob(const ExperimentJob &job)
+{
+    JobResult out;
+    out.workload = job.workload;
+    out.arch = job.arch;
+    out.configLabel = job.configLabel;
+
+    auto model = makeCoreModel(job.arch, job.config);
+    if (!model) {
+        out.error = "unknown architecture '" + job.arch + "'";
+        return out;
+    }
+
+    std::function<WorkloadInstance()> make =
+        job.make ? job.make : registryMake(job.workload);
+    if (!make) {
+        out.error = "unknown workload '" + job.workload + "'";
+        return out;
+    }
+
+    TraceResult traced;
+    try {
+        traced = cache_.get(job.workload, make);
+    } catch (const std::exception &e) {
+        out.error = e.what();
+        return out;
+    }
+    out.goldenPassed = traced.goldenPassed;
+    if (!traced.ok()) {
+        out.error = traced.error.empty() ? "functional execution failed"
+                                         : traced.error;
+        return out;
+    }
+
+    try {
+        out.stats = model->run(*traced.traces);
+        out.ran = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+std::vector<ExperimentJob>
+ExperimentEngine::suiteJobs(const SystemConfig &cfg,
+                            const std::vector<std::string> &archs,
+                            const std::string &configLabel)
+{
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(workloadRegistry().size() * archs.size());
+    for (const auto &entry : workloadRegistry()) {
+        for (const auto &arch : archs) {
+            ExperimentJob job;
+            job.workload = entry.name;
+            job.arch = arch;
+            job.configLabel = configLabel;
+            job.config = cfg;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+std::vector<ArchComparison>
+ExperimentEngine::compareSuite(const SystemConfig &cfg)
+{
+    const auto &archs = knownArchitectures();
+    std::vector<JobResult> results = run(suiteJobs(cfg, archs));
+
+    std::vector<ArchComparison> out;
+    out.reserve(workloadRegistry().size());
+    size_t i = 0;
+    for (const auto &entry : workloadRegistry()) {
+        ArchComparison c;
+        c.workload = entry.name;
+        c.goldenPassed = true;
+        for (const auto &arch : archs) {
+            const JobResult &r = results[i++];
+            if (!r.goldenPassed) {
+                c.goldenPassed = false;
+                c.goldenError = r.error;
+            }
+            if (arch == "vgiw")
+                c.vgiw = r.stats;
+            else if (arch == "fermi")
+                c.fermi = r.stats;
+            else if (arch == "sgmf")
+                c.sgmf = r.stats;
+        }
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::string
+ExperimentEngine::toJsonLine(const JobResult &r)
+{
+    std::ostringstream os;
+    os << "{\"workload\":\"" << jsonEscape(r.workload) << "\""
+       << ",\"arch\":\"" << jsonEscape(r.arch) << "\""
+       << ",\"config\":\"" << jsonEscape(r.configLabel) << "\""
+       << ",\"golden\":" << (r.goldenPassed ? "true" : "false")
+       << ",\"ok\":" << (r.ok() ? "true" : "false");
+    if (!r.error.empty())
+        os << ",\"error\":\"" << jsonEscape(r.error) << "\"";
+    if (r.ran) {
+        const RunStats &s = r.stats;
+        os << ",\"supported\":" << (s.supported ? "true" : "false")
+           << ",\"cycles\":" << s.cycles
+           << ",\"config_cycles\":" << s.configCycles
+           << ",\"reconfigs\":" << s.reconfigs
+           << ",\"dyn_block_execs\":" << s.dynBlockExecs
+           << ",\"dyn_thread_ops\":" << s.dynThreadOps
+           << ",\"dyn_warp_instrs\":" << s.dynWarpInstrs
+           << ",\"rf_accesses\":" << s.rfAccesses
+           << ",\"lvc_accesses\":" << s.lvcAccesses
+           << ",\"energy_core_pj\":" << jsonNumber(s.energy.corePj())
+           << ",\"energy_die_pj\":" << jsonNumber(s.energy.diePj())
+           << ",\"energy_system_pj\":" << jsonNumber(s.energy.systemPj())
+           << ",\"l1_accesses\":" << s.l1Stats.accesses()
+           << ",\"l1_misses\":" << s.l1Stats.misses()
+           << ",\"l2_accesses\":" << s.l2Stats.accesses()
+           << ",\"l2_misses\":" << s.l2Stats.misses()
+           << ",\"lvc_misses\":" << s.lvcStats.misses()
+           << ",\"dram_accesses\":" << s.dramStats.accesses
+           << ",\"dram_row_hits\":" << s.dramStats.rowHits;
+        os << ",\"extra\":{";
+        bool first = true;
+        for (const auto &[name, value] : s.extra.entries()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << jsonEscape(name) << "\":" << jsonNumber(value);
+        }
+        os << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace vgiw

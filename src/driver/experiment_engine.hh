@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The parallel experiment engine: the substrate every sweep harness
+ * (runSuite, the ablation binaries, vgiw_run --suite) runs on.
+ *
+ * A sweep is a list of (workload × config × architecture) jobs. The
+ * engine shards the list over a pool of std::jthread workers pulling
+ * from an atomic queue; each job resolves its traces through a shared
+ * TraceCache — so every workload is functionally executed and
+ * golden-checked exactly once per sweep, not once per config point —
+ * and replays them on the requested core model. Replay is const on a
+ * shared immutable TraceSet, so concurrent replays of the same traces
+ * are safe.
+ *
+ * Determinism: results are written into a slot per job, so the output
+ * vector preserves submission order regardless of worker count, and the
+ * replayed statistics are bit-identical to a serial run (replay has no
+ * cross-job state).
+ *
+ * Failure isolation: a golden-check failure or a thrown model error is
+ * recorded in that job's result (and reported through the failure
+ * callback) and the sweep keeps going — one broken workload no longer
+ * aborts a whole evaluation.
+ */
+
+#ifndef VGIW_DRIVER_EXPERIMENT_ENGINE_HH
+#define VGIW_DRIVER_EXPERIMENT_ENGINE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/core_model.hh"
+#include "driver/run_stats.hh"
+#include "driver/runner.hh"
+#include "driver/system_config.hh"
+#include "driver/trace_cache.hh"
+#include "workloads/workload.hh"
+
+namespace vgiw
+{
+
+/** One point of a sweep: run one workload on one core configuration. */
+struct ExperimentJob
+{
+    std::string workload;  ///< registry name, or a label for custom makes
+    std::string arch = "vgiw";  ///< a knownArchitectures() name
+    std::string configLabel;    ///< free-form config tag for reports
+    SystemConfig config{};
+
+    /**
+     * Optional constructor for workloads outside the registry (synthetic
+     * sweep kernels). When empty the registry is consulted by name.
+     */
+    std::function<WorkloadInstance()> make;
+};
+
+/** Outcome of one job. */
+struct JobResult
+{
+    std::string workload;
+    std::string arch;
+    std::string configLabel;
+
+    bool goldenPassed = false;
+    /** Golden-check, lookup or model diagnostic; empty on success. */
+    std::string error;
+    /** Stats are valid: the core model actually replayed the traces. */
+    bool ran = false;
+    RunStats stats;
+
+    bool ok() const { return ran && error.empty(); }
+};
+
+/** Worker-pool and reporting knobs. */
+struct EngineOptions
+{
+    EngineOptions() = default;
+    explicit EngineOptions(unsigned worker_count) : jobs(worker_count) {}
+
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+
+    /**
+     * Invoked (serialised) as each job finishes, with the job's index in
+     * the submission order — progress reporting for long sweeps.
+     */
+    std::function<void(size_t index, const JobResult &)> onResult;
+
+    /**
+     * Invoked (serialised) when a job fails (golden mismatch, unknown
+     * workload/arch, model exception) — the job is skipped, not fatal.
+     */
+    std::function<void(const JobResult &)> onFailure;
+};
+
+/** Parallel (workload × config × architecture) sweep executor. */
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(EngineOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Run all @p jobs; the result vector is index-aligned with the
+     * submission order regardless of scheduling.
+     */
+    std::vector<JobResult> run(const std::vector<ExperimentJob> &jobs);
+
+    /**
+     * The full registry × @p archs under one configuration — the job
+     * list behind runSuite and vgiw_run --suite.
+     */
+    static std::vector<ExperimentJob>
+    suiteJobs(const SystemConfig &cfg,
+              const std::vector<std::string> &archs = knownArchitectures(),
+              const std::string &configLabel = {});
+
+    /**
+     * Parallel replacement for the old serial suite loop: every registry
+     * workload on all three architectures, assembled into registry-order
+     * ArchComparisons. Workloads that fail their golden check are
+     * reported via onFailure and returned with goldenPassed == false.
+     */
+    std::vector<ArchComparison> compareSuite(const SystemConfig &cfg = {});
+
+    /** The sweep-wide trace cache (one functional execution per key). */
+    TraceCache &traceCache() { return cache_; }
+
+    /** Serialise one result as a JSON-lines object (no newline). */
+    static std::string toJsonLine(const JobResult &result);
+
+  private:
+    JobResult runJob(const ExperimentJob &job);
+
+    EngineOptions opts_;
+    TraceCache cache_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_EXPERIMENT_ENGINE_HH

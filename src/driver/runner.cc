@@ -6,28 +6,20 @@
 namespace vgiw
 {
 
-TraceSet
-Runner::trace(const WorkloadInstance &w, bool *golden_ok,
-              std::string *golden_err) const
+TraceResult
+Runner::trace(const WorkloadInstance &w) const
 {
     MemoryImage mem = w.memory;  // keep the instance reusable
-    TraceSet traces = Interpreter{}.run(w.kernel, w.launch, mem);
+    TraceResult out;
+    out.traces = std::make_shared<const TraceSet>(
+        Interpreter{}.run(w.kernel, w.launch, mem));
 
     if (w.check) {
-        std::string err;
-        const bool ok = w.check(mem, err);
-        if (golden_ok)
-            *golden_ok = ok;
-        if (golden_err)
-            *golden_err = err;
-        if (!ok && !golden_ok) {
-            vgiw_fatal("workload '", w.fullName(),
-                       "' failed its golden check: ", err);
-        }
-    } else if (golden_ok) {
-        *golden_ok = true;
+        out.goldenPassed = w.check(mem, out.error);
+    } else {
+        out.goldenPassed = true;
     }
-    return traces;
+    return out;
 }
 
 ArchComparison
@@ -36,12 +28,15 @@ Runner::compare(const WorkloadInstance &w) const
     ArchComparison out;
     out.workload = w.fullName();
 
-    TraceSet traces = trace(w, &out.goldenPassed, &out.goldenError);
-    if (!out.goldenPassed) {
+    TraceResult traced = trace(w);
+    out.goldenPassed = traced.goldenPassed;
+    out.goldenError = traced.error;
+    if (!traced.goldenPassed) {
         vgiw_fatal("workload '", w.fullName(),
-                   "' failed its golden check: ", out.goldenError);
+                   "' failed its golden check: ", traced.error);
     }
 
+    const TraceSet &traces = *traced.traces;
     out.vgiw = VgiwCore(cfg_.vgiw).run(traces);
     out.fermi = FermiCore(cfg_.fermi).run(traces);
     out.sgmf = SgmfCore(cfg_.sgmf).run(traces);

@@ -10,6 +10,7 @@
 #ifndef VGIW_DRIVER_RUNNER_HH
 #define VGIW_DRIVER_RUNNER_HH
 
+#include <memory>
 #include <string>
 
 #include "driver/run_stats.hh"
@@ -19,6 +20,28 @@
 
 namespace vgiw
 {
+
+/**
+ * Outcome of functionally executing one workload: the traces the core
+ * models replay plus the golden-check verdict. A failed golden check is
+ * reported here rather than thrown, so sweep harnesses can skip the
+ * workload and keep going.
+ *
+ * @warning The TraceSet borrows the Kernel of the WorkloadInstance it
+ * was produced from (see TraceSet); when the traces come straight from
+ * Runner::trace() the caller's instance must outlive them. Results
+ * handed out by TraceCache own their kernel and carry no such
+ * restriction.
+ */
+struct TraceResult
+{
+    std::shared_ptr<const TraceSet> traces;
+    bool goldenPassed = false;
+    std::string error;  ///< golden-check diagnostic when !goldenPassed
+
+    /** Traces exist and the golden reference matched. */
+    bool ok() const { return goldenPassed && traces != nullptr; }
+};
 
 /** Results of one workload on all three architectures. */
 struct ArchComparison
@@ -84,9 +107,11 @@ class Runner
   public:
     explicit Runner(const SystemConfig &cfg = {}) : cfg_(cfg) {}
 
-    /** Functionally execute @p w; the traces drive the core models. */
-    TraceSet trace(const WorkloadInstance &w, bool *golden_ok = nullptr,
-                   std::string *golden_err = nullptr) const;
+    /**
+     * Functionally execute @p w; the traces drive the core models.
+     * Golden-check failures are reported in the result, never thrown.
+     */
+    TraceResult trace(const WorkloadInstance &w) const;
 
     /** Full three-architecture comparison for @p w. */
     ArchComparison compare(const WorkloadInstance &w) const;

@@ -1,0 +1,102 @@
+#include "driver/trace_cache.hh"
+
+#include <sstream>
+#include <utility>
+
+namespace vgiw
+{
+
+namespace
+{
+
+/** Cache key: workload name plus the launch geometry and parameters. */
+std::string
+cacheKey(const std::string &name, const LaunchParams &launch)
+{
+    std::ostringstream os;
+    os << name << '|' << launch.numCtas << 'x' << launch.ctaSize;
+    for (const Scalar &p : launch.params)
+        os << ',' << p.bits;
+    return os.str();
+}
+
+} // namespace
+
+TraceResult
+TraceCache::get(const std::string &name,
+                const std::function<WorkloadInstance()> &make)
+{
+    // Building the instance is cheap relative to tracing it, and the
+    // launch parameters it carries complete the cache key.
+    auto entry = std::make_shared<Entry>();
+    entry->workload = make();
+    const std::string key = cacheKey(name, entry->workload.launch);
+
+    std::promise<std::shared_ptr<const Entry>> promise;
+    std::shared_future<std::shared_ptr<const Entry>> future;
+    bool miss = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            miss = true;
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (miss) {
+        // Functional execution outside the lock: other keys (and other
+        // requesters of this key, via the future) are not serialised
+        // behind it.
+        execs_.fetch_add(1);
+        try {
+            entry->result = Runner{}.trace(entry->workload);
+        } catch (const std::exception &e) {
+            entry->result = TraceResult{};
+            entry->result.error = e.what();
+        }
+        promise.set_value(entry);
+        return resultFor(entry);
+    }
+    return resultFor(future.get());
+}
+
+TraceResult
+TraceCache::get(const WorkloadEntry &entry)
+{
+    return get(entry.name, entry.make);
+}
+
+TraceResult
+TraceCache::resultFor(const std::shared_ptr<const Entry> &entry) const
+{
+    TraceResult out;
+    out.goldenPassed = entry->result.goldenPassed;
+    out.error = entry->result.error;
+    if (entry->result.traces) {
+        // Aliasing constructor: the handed-out pointer keeps the whole
+        // entry (traces *and* the kernel they borrow) alive.
+        out.traces = std::shared_ptr<const TraceSet>(
+            entry, entry->result.traces.get());
+    }
+    return out;
+}
+
+size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+} // namespace vgiw

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared trace cache for sweep harnesses.
+ *
+ * A design-space sweep replays the same workload under many core
+ * configurations, but the functional execution (interpreter run plus
+ * golden check) is configuration-independent — doing it once per config
+ * point is pure waste. The cache memoises TraceResults keyed by
+ * (workload name, launch geometry, launch parameters) so each workload
+ * is functionally executed exactly once per sweep, no matter how many
+ * config points or worker threads request it.
+ *
+ * Thread-safety: get() may be called concurrently. The first requester
+ * of a key performs the functional execution outside the cache lock;
+ * concurrent requesters of the same key block on a shared future until
+ * the traces are ready. Replays of the returned TraceSet are const and
+ * can proceed in parallel.
+ *
+ * Lifetime: each cache entry owns the WorkloadInstance its TraceSet
+ * borrows the Kernel from, and the returned TraceResult's shared_ptr
+ * keeps the whole entry alive — results stay valid even after clear()
+ * or cache destruction.
+ */
+
+#ifndef VGIW_DRIVER_TRACE_CACHE_HH
+#define VGIW_DRIVER_TRACE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "driver/runner.hh"
+#include "workloads/workload.hh"
+
+namespace vgiw
+{
+
+/** Memoising, thread-safe front-end to Runner::trace(). */
+class TraceCache
+{
+  public:
+    /**
+     * Traces for the named workload; @p make is invoked to build the
+     * instance (its launch geometry/parameters complete the cache key).
+     * The functional execution runs at most once per key.
+     */
+    TraceResult get(const std::string &name,
+                    const std::function<WorkloadInstance()> &make);
+
+    /** Convenience overload for registry entries. */
+    TraceResult get(const WorkloadEntry &entry);
+
+    /** Number of functional executions performed (cache misses). */
+    uint64_t functionalExecutions() const { return execs_.load(); }
+
+    /** Number of distinct (workload, launch) keys seen. */
+    size_t size() const;
+
+    /** Drop all entries; outstanding TraceResults remain valid. */
+    void clear();
+
+  private:
+    /** Owns everything a cached TraceResult points into. */
+    struct Entry
+    {
+        WorkloadInstance workload;  ///< owns the Kernel the traces borrow
+        TraceResult result;
+    };
+
+    TraceResult resultFor(const std::shared_ptr<const Entry> &entry) const;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_future<std::shared_ptr<const Entry>>>
+        entries_;
+    std::atomic<uint64_t> execs_{0};
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_TRACE_CACHE_HH

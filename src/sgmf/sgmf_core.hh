@@ -26,6 +26,7 @@
 
 #include "cgrf/dataflow_graph.hh"
 #include "cgrf/grid.hh"
+#include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
 #include "power/energy_model.hh"
@@ -45,16 +46,18 @@ struct SgmfConfig
 };
 
 /** Cycle-approximate SGMF core model. */
-class SgmfCore
+class SgmfCore final : public CoreModel
 {
   public:
     explicit SgmfCore(const SgmfConfig &cfg = {}) : cfg_(cfg) {}
+
+    std::string name() const override { return "sgmf"; }
 
     /**
      * Replay @p traces. When the kernel does not fit the fabric the
      * returned stats have supported == false (and no timing data).
      */
-    RunStats run(const TraceSet &traces) const;
+    RunStats run(const TraceSet &traces) const override;
 
     /** Whether @p kernel can be mapped at all. */
     bool supports(const Kernel &kernel) const;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
 #include "power/energy_model.hh"
@@ -48,13 +49,15 @@ struct FermiConfig
 };
 
 /** Event-driven Fermi SM model. */
-class FermiCore
+class FermiCore final : public CoreModel
 {
   public:
     explicit FermiCore(const FermiConfig &cfg = {}) : cfg_(cfg) {}
 
+    std::string name() const override { return "fermi"; }
+
     /** Replay @p traces and return timing/energy statistics. */
-    RunStats run(const TraceSet &traces) const;
+    RunStats run(const TraceSet &traces) const override;
 
     const FermiConfig &config() const { return cfg_; }
 

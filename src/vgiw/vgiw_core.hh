@@ -28,6 +28,7 @@
 
 #include "cgrf/dataflow_graph.hh"
 #include "cgrf/grid.hh"
+#include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
 #include "power/energy_model.hh"
@@ -82,13 +83,15 @@ struct VgiwConfig
 };
 
 /** Cycle-approximate VGIW core model. */
-class VgiwCore
+class VgiwCore final : public CoreModel
 {
   public:
     explicit VgiwCore(const VgiwConfig &cfg = {}) : cfg_(cfg) {}
 
+    std::string name() const override { return "vgiw"; }
+
     /** Replay @p traces and return timing/energy statistics. */
-    RunStats run(const TraceSet &traces) const;
+    RunStats run(const TraceSet &traces) const override;
 
     /** Tile size for a kernel/launch pair (Section 3.2 formula). */
     int tileSizeFor(const Kernel &kernel, const LaunchParams &launch) const;

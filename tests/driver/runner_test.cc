@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "driver/runner.hh"
 #include "workloads/workload.hh"
 
@@ -7,6 +9,38 @@ namespace vgiw
 {
 namespace
 {
+
+TEST(Runner, TraceReturnsValueResult)
+{
+    Runner runner;
+    WorkloadInstance w = makeWorkload("NN/euclid");
+    TraceResult traced = runner.trace(w);
+    EXPECT_TRUE(traced.ok());
+    EXPECT_TRUE(traced.goldenPassed);
+    EXPECT_TRUE(traced.error.empty());
+    ASSERT_TRUE(traced.traces);
+    EXPECT_EQ(traced.traces->kernel, &w.kernel);
+    EXPECT_GT(traced.traces->totalBlockExecs(), 0u);
+}
+
+TEST(Runner, TraceReportsGoldenFailureInsteadOfThrowing)
+{
+    Runner runner;
+    WorkloadInstance w = makeWorkload("NN/euclid");
+    w.check = [](const MemoryImage &, std::string &err) {
+        err = "expected 42, got 43";
+        return false;
+    };
+    TraceResult traced = runner.trace(w);
+    EXPECT_FALSE(traced.ok());
+    EXPECT_FALSE(traced.goldenPassed);
+    EXPECT_EQ(traced.error, "expected 42, got 43");
+    // The traces themselves are still produced (for post-mortems).
+    ASSERT_TRUE(traced.traces);
+    EXPECT_GT(traced.traces->totalBlockExecs(), 0u);
+    // compare() keeps the strict contract: a golden failure is fatal.
+    EXPECT_THROW(runner.compare(w), std::runtime_error);
+}
 
 TEST(Runner, ComparesAllThreeArchitectures)
 {

@@ -105,7 +105,8 @@ TEST_P(SuiteTest, CoalescingExtensionNeverHurtsMuch)
 {
     Runner runner;
     WorkloadInstance w = makeWorkload(GetParam());
-    TraceSet traces = runner.trace(w);
+    TraceResult traced = runner.trace(w);
+    const TraceSet &traces = *traced.traces;
     VgiwConfig base;
     VgiwConfig coal;
     coal.enableMemoryCoalescing = true;

@@ -23,10 +23,10 @@ TEST_P(GoldenTest, FunctionalExecutionMatchesNativeReference)
 {
     WorkloadInstance w = makeWorkload(GetParam());
     Runner runner;
-    bool ok = false;
-    std::string err;
-    TraceSet traces = runner.trace(w, &ok, &err);
-    EXPECT_TRUE(ok) << err;
+    TraceResult traced = runner.trace(w);
+    EXPECT_TRUE(traced.goldenPassed) << traced.error;
+    ASSERT_TRUE(traced.traces);
+    const TraceSet &traces = *traced.traces;
     EXPECT_GT(traces.totalBlockExecs(), 0u);
     // Every thread ran to completion.
     for (const auto &t : traces.threads) {

@@ -53,7 +53,8 @@ TEST(WorkloadStructure, DivergentKernelsActuallyDiverge)
     for (const char *name :
          {"BFS/Kernel", "GE/Fan2", "SM/compute_cost"}) {
         WorkloadInstance w = makeWorkload(name);
-        TraceSet t = runner.trace(w);
+        TraceResult traced = runner.trace(w);
+        const TraceSet &t = *traced.traces;
         bool divergent = false;
         const size_t len0 = t.threads[0].execs.size();
         for (const auto &tr : t.threads)

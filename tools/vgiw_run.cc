@@ -6,17 +6,28 @@
  *   vgiw_run --workload BFS/Kernel [--arch vgiw|fermi|sgmf|all]
  *            [--lvc-bytes N] [--cvt-bits N] [--no-replication]
  *            [--coalescing] [--dump-ir] [--verbose]
+ *            [--jobs N] [--json <file>]
+ *   vgiw_run --suite [--arch ...] [--jobs N] [--json <file>]
  *
- * Runs one Table 2 workload (functional execution + golden check, then
- * the requested core models) and prints a RunStats report. This is the
- * tool a user reaches for before scripting against the library API.
+ * Single-workload mode runs one Table 2 workload (functional execution
+ * + golden check, then the requested core models) and prints a RunStats
+ * report. --suite sweeps the whole registry through the parallel
+ * experiment engine; --jobs bounds the worker pool and --json emits one
+ * JSON-lines object per (workload, arch) result alongside the ASCII
+ * report. This is the tool a user reaches for before scripting against
+ * the library API.
  */
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "driver/runner.hh"
+#include "driver/experiment_engine.hh"
 #include "ir/printer.hh"
 #include "workloads/workload.hh"
 
@@ -30,11 +41,16 @@ usage()
 {
     std::printf(
         "usage: vgiw_run --workload <suite/kernel> [options]\n"
+        "       vgiw_run --suite [options]\n"
         "       vgiw_run --list\n"
         "\n"
         "options:\n"
         "  --arch <vgiw|fermi|sgmf|all>   core model(s) to run "
         "(default: all)\n"
+        "  --jobs <n>                     sweep worker threads "
+        "(default: hardware concurrency)\n"
+        "  --json <file>                  also write one JSON object "
+        "per result (JSON lines)\n"
         "  --lvc-bytes <n>                LVC capacity (default 65536)\n"
         "  --cvt-bits <n>                 CVT capacity (default 65536)\n"
         "  --no-replication               disable block replication\n"
@@ -92,14 +108,48 @@ printStats(const RunStats &rs, bool verbose)
     }
 }
 
+/** Parse a non-negative integer option value or exit(2) with a hint. */
+unsigned long
+parseCount(const std::string &opt, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long n = std::strtoul(value, &end, 10);
+    // strtoul happily wraps "-5"; insist on a plain digit string.
+    if (!std::isdigit((unsigned char)value[0]) || errno != 0 ||
+        end == value || *end != '\0') {
+        std::fprintf(stderr, "invalid value '%s' for %s\n", value,
+                     opt.c_str());
+        std::exit(2);
+    }
+    return n;
+}
+
+/** Append results as JSON lines; returns false on I/O failure. */
+bool
+writeJson(const std::string &path, const std::vector<JobResult> &results)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     path.c_str());
+        return false;
+    }
+    for (const auto &r : results)
+        std::fprintf(f, "%s\n", ExperimentEngine::toJsonLine(r).c_str());
+    std::fclose(f);
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string workload, arch = "all";
+    std::string workload, arch = "all", json_path;
     VgiwConfig vcfg;
-    bool dump_ir = false, verbose = false;
+    bool suite = false, dump_ir = false, verbose = false;
+    unsigned jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -116,12 +166,18 @@ main(int argc, char **argv)
             return 0;
         } else if (a == "--workload") {
             workload = next();
+        } else if (a == "--suite") {
+            suite = true;
         } else if (a == "--arch") {
             arch = next();
+        } else if (a == "--jobs") {
+            jobs = unsigned(parseCount(a, next()));
+        } else if (a == "--json") {
+            json_path = next();
         } else if (a == "--lvc-bytes") {
-            vcfg.lvcBytes = uint32_t(std::stoul(next()));
+            vcfg.lvcBytes = uint32_t(parseCount(a, next()));
         } else if (a == "--cvt-bits") {
-            vcfg.cvtCapacityBits = uint32_t(std::stoul(next()));
+            vcfg.cvtCapacityBits = uint32_t(parseCount(a, next()));
         } else if (a == "--no-replication") {
             vcfg.enableReplication = false;
         } else if (a == "--coalescing") {
@@ -140,11 +196,83 @@ main(int argc, char **argv)
         }
     }
 
-    if (workload.empty()) {
+    // Validate the architecture selector up front: a typo must not
+    // silently run nothing and exit 0.
+    if (arch != "all" && !isKnownArchitecture(arch)) {
+        std::fprintf(stderr, "unknown architecture '%s'\n", arch.c_str());
         usage();
         return 2;
     }
+    if (!suite && workload.empty()) {
+        usage();
+        return 2;
+    }
+    if (suite && !workload.empty()) {
+        std::fprintf(stderr,
+                     "--suite and --workload are mutually exclusive\n");
+        return 2;
+    }
 
+    SystemConfig cfg;
+    cfg.vgiw = vcfg;
+    std::vector<std::string> archs;
+    if (arch == "all")
+        archs = knownArchitectures();
+    else
+        archs = {arch};
+
+    if (suite) {
+        int failures = 0;
+        EngineOptions opts;
+        opts.jobs = jobs;
+        opts.onFailure = [&failures](const JobResult &r) {
+            ++failures;
+            std::fprintf(stderr, "FAILED %s [%s]: %s\n",
+                         r.workload.c_str(), r.arch.c_str(),
+                         r.error.c_str());
+        };
+        ExperimentEngine engine(opts);
+        auto results = engine.run(ExperimentEngine::suiteJobs(cfg, archs));
+
+        std::printf("%-28s %-6s %12s %11s %9s %9s\n", "workload", "arch",
+                    "cycles", "energy nJ", "L1 miss", "golden");
+        for (const auto &r : results) {
+            if (!r.ok()) {
+                std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
+                            r.arch.c_str(), "SKIPPED");
+                continue;
+            }
+            if (!r.stats.supported) {
+                std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
+                            r.arch.c_str(), "unsupported");
+                continue;
+            }
+            std::printf("%-28s %-6s %12llu %11.1f %8.1f%% %9s\n",
+                        r.workload.c_str(), r.arch.c_str(),
+                        (unsigned long long)r.stats.cycles,
+                        r.stats.energy.systemPj() / 1e3,
+                        100.0 * r.stats.l1Stats.missRate(),
+                        r.goldenPassed ? "ok" : "FAIL");
+        }
+        std::printf("\n%zu results, %d failures (traced %llu workloads "
+                    "once each)\n",
+                    results.size(), failures,
+                    (unsigned long long)
+                        engine.traceCache().functionalExecutions());
+        if (!json_path.empty() && !writeJson(json_path, results))
+            return 1;
+        return failures ? 1 : 0;
+    }
+
+    const auto &registry = workloadRegistry();
+    const bool known =
+        std::any_of(registry.begin(), registry.end(),
+                    [&](const auto &e) { return e.name == workload; });
+    if (!known) {
+        std::fprintf(stderr, "unknown workload '%s' (see --list)\n",
+                     workload.c_str());
+        return 2;
+    }
     WorkloadInstance w = makeWorkload(workload);
     std::printf("workload %s (%s): %d blocks, %d threads (%d CTAs x "
                 "%d)\n\n",
@@ -155,22 +283,27 @@ main(int argc, char **argv)
         std::printf("%s\n", kernelToString(w.kernel).c_str());
     }
 
-    SystemConfig cfg;
-    cfg.vgiw = vcfg;
     Runner runner(cfg);
-    bool golden = false;
-    std::string err;
-    TraceSet traces = runner.trace(w, &golden, &err);
+    TraceResult traced = runner.trace(w);
     std::printf("golden check: %s\n\n",
-                golden ? "PASSED" : ("FAILED: " + err).c_str());
-    if (!golden)
+                traced.goldenPassed
+                    ? "PASSED"
+                    : ("FAILED: " + traced.error).c_str());
+    if (!traced.goldenPassed)
         return 1;
 
-    if (arch == "vgiw" || arch == "all")
-        printStats(VgiwCore(cfg.vgiw).run(traces), verbose);
-    if (arch == "fermi" || arch == "all")
-        printStats(FermiCore(cfg.fermi).run(traces), verbose);
-    if (arch == "sgmf" || arch == "all")
-        printStats(SgmfCore(cfg.sgmf).run(traces), verbose);
+    std::vector<JobResult> results;
+    for (const auto &m : makeCoreModels(cfg, arch)) {
+        JobResult r;
+        r.workload = w.fullName();
+        r.arch = m->name();
+        r.goldenPassed = true;
+        r.stats = m->run(*traced.traces);
+        r.ran = true;
+        printStats(r.stats, verbose);
+        results.push_back(std::move(r));
+    }
+    if (!json_path.empty() && !writeJson(json_path, results))
+        return 1;
     return 0;
 }
