@@ -15,6 +15,7 @@
 #define VGIW_CGRF_DATAFLOW_GRAPH_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cgrf/grid.hh"
@@ -34,6 +35,18 @@ struct CgrfTiming
     int cvuLatency = 1;
     int sjuLatency = 1;
 };
+
+/** Textual identity of a timing table for compileKey() fingerprints. */
+inline std::string
+timingFingerprint(const CgrfTiming &t)
+{
+    std::string s;
+    for (int v : {t.intAluLatency, t.fpAluLatency, t.scuLatency,
+                  t.ldstLatency, t.lvuLatency, t.cvuLatency,
+                  t.sjuLatency})
+        s += std::to_string(v) + ",";
+    return s;
+}
 
 /** What a DFG node stands for. */
 enum class DfgRole : uint8_t

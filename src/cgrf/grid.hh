@@ -15,6 +15,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace vgiw
@@ -76,6 +77,21 @@ struct GridConfig
      */
     static GridConfig makeTable1();
 };
+
+/**
+ * Compact textual identity of a grid (shape + per-kind counts), used in
+ * CoreModel::compileKey() fingerprints. Two grids with equal
+ * fingerprints place identically.
+ */
+inline std::string
+gridFingerprint(const GridConfig &g)
+{
+    std::string s =
+        std::to_string(g.width) + "x" + std::to_string(g.height);
+    for (int c : g.counts)
+        s += "," + std::to_string(c);
+    return s;
+}
 
 } // namespace vgiw
 

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A reusable open-addressing set of 64-bit keys for replay hot loops.
+ *
+ * The VGIW coalescing ablation needs a per-block-vector "lines already
+ * serviced" membership test. A std::unordered_set there allocates a node
+ * per insert and is torn down per vector — millions of heap operations
+ * per sweep. ScratchSet keeps one flat table alive for the whole replay:
+ * clear() is O(1) (a generation bump), inserts are allocation-free until
+ * the table grows, and growth is amortised across the entire run because
+ * the table is never shrunk.
+ */
+
+#ifndef VGIW_COMMON_SCRATCH_SET_HH
+#define VGIW_COMMON_SCRATCH_SET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vgiw
+{
+
+/** Reusable hash set of uint64_t keys with O(1) clear. */
+class ScratchSet
+{
+  public:
+    explicit ScratchSet(size_t expected = 64)
+    {
+        size_t cap = 16;
+        while (cap < expected * 2)
+            cap *= 2;
+        keys_.resize(cap);
+        stamps_.assign(cap, 0);
+    }
+
+    /** Insert @p key; true when it was not already present. */
+    bool
+    insert(uint64_t key)
+    {
+        if ((size_ + 1) * 10 > keys_.size() * 7)
+            grow();
+        size_t i = slotFor(key);
+        while (stamps_[i] == gen_) {
+            if (keys_[i] == key)
+                return false;
+            i = (i + 1) & (keys_.size() - 1);
+        }
+        keys_[i] = key;
+        stamps_[i] = gen_;
+        ++size_;
+        return true;
+    }
+
+    bool
+    contains(uint64_t key) const
+    {
+        size_t i = slotFor(key);
+        while (stamps_[i] == gen_) {
+            if (keys_[i] == key)
+                return true;
+            i = (i + 1) & (keys_.size() - 1);
+        }
+        return false;
+    }
+
+    /** Empty the set without releasing or touching the table. */
+    void
+    clear()
+    {
+        size_ = 0;
+        if (++gen_ == 0) {
+            // Generation counter wrapped: stale stamps could collide.
+            stamps_.assign(stamps_.size(), 0);
+            gen_ = 1;
+        }
+    }
+
+    size_t size() const { return size_; }
+    size_t capacity() const { return keys_.size(); }
+
+  private:
+    size_t
+    slotFor(uint64_t key) const
+    {
+        // Fibonacci hashing: multiply spreads low-entropy line numbers
+        // across the table; the mask needs the high bits mixed down.
+        const uint64_t h = key * 0x9E3779B97F4A7C15ull;
+        return size_t(h >> 32) & (keys_.size() - 1);
+    }
+
+    void
+    grow()
+    {
+        std::vector<uint64_t> old_keys = std::move(keys_);
+        std::vector<uint32_t> old_stamps = std::move(stamps_);
+        keys_.assign(old_keys.size() * 2, 0);
+        stamps_.assign(old_stamps.size() * 2, 0);
+        const uint32_t live = gen_;
+        gen_ = 1;
+        size_ = 0;
+        for (size_t i = 0; i < old_keys.size(); ++i)
+            if (old_stamps[i] == live)
+                insert(old_keys[i]);
+    }
+
+    std::vector<uint64_t> keys_;
+    std::vector<uint32_t> stamps_;  ///< slot is live iff stamp == gen_
+    uint32_t gen_ = 1;
+    size_t size_ = 0;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_COMMON_SCRATCH_SET_HH

@@ -1,0 +1,65 @@
+#include "driver/compile_cache.hh"
+
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace vgiw
+{
+
+std::shared_ptr<const CompiledKernel>
+CompileCache::get(const CoreModel &model, const std::string &kernelKey,
+                  const std::shared_ptr<const TraceSet> &traces)
+{
+    vgiw_assert(traces && traces->kernel, "CompileCache needs traces");
+    const std::string key = model.compileKey() + "||" + kernelKey;
+
+    std::promise<std::shared_ptr<const Entry>> promise;
+    std::shared_future<std::shared_ptr<const Entry>> future;
+    bool miss = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            miss = true;
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (miss) {
+        // Compile outside the lock: other keys (and other requesters of
+        // this key, via the future) are not serialised behind it.
+        comps_.fetch_add(1);
+        try {
+            auto entry = std::make_shared<Entry>();
+            entry->traces = traces;
+            entry->compiled = model.compile(*traces->kernel);
+            promise.set_value(entry);
+            return entry->compiled;
+        } catch (...) {
+            // Every requester of this key sees the compile failure.
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
+    return future.get()->compiled;
+}
+
+size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+} // namespace vgiw

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared compiled-kernel cache for sweep harnesses.
+ *
+ * The compile phase of a core model (DFG construction, place-and-route,
+ * static op counting, SIMT decode) depends only on the kernel and the
+ * compile-relevant slice of the configuration — not on the replay-side
+ * knobs a sweep actually varies (LVC size, CVT capacity, miss window).
+ * Recompiling per config point is pure waste, and for VGIW/SGMF the
+ * placer dominates job setup. The cache memoises compile artifacts
+ * keyed by (model compileKey, kernel identity) so each distinct
+ * (architecture slice, kernel) pair is compiled exactly once per sweep.
+ *
+ * Thread-safety: get() may be called concurrently; it follows the
+ * TraceCache protocol. The first requester of a key compiles outside
+ * the cache lock; concurrent requesters block on a shared future.
+ * Compile failures (e.g. a kernel that does not fit the grid) propagate
+ * as exceptions to every requester of the key.
+ *
+ * Lifetime: each entry pins the TraceSet whose Kernel the artifact was
+ * compiled against, so artifacts stay valid even if the TraceCache is
+ * cleared while a sweep still holds results.
+ */
+
+#ifndef VGIW_DRIVER_COMPILE_CACHE_HH
+#define VGIW_DRIVER_COMPILE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "driver/core_model.hh"
+#include "interp/trace.hh"
+
+namespace vgiw
+{
+
+/** Memoising, thread-safe front-end to CoreModel::compile(). */
+class CompileCache
+{
+  public:
+    /**
+     * Compile artifact for @p model applied to @p traces->kernel. The
+     * full key is model.compileKey() + @p kernelKey, where @p kernelKey
+     * identifies the kernel instance (use TraceCache::keyFor so trace
+     * and compile entries share the same kernel identity). Compilation
+     * runs at most once per key; a compile failure throws for every
+     * requester of the key.
+     */
+    std::shared_ptr<const CompiledKernel>
+    get(const CoreModel &model, const std::string &kernelKey,
+        const std::shared_ptr<const TraceSet> &traces);
+
+    /** Number of compilations performed (cache misses). */
+    uint64_t compilations() const { return comps_.load(); }
+
+    /** Number of distinct (compileKey, kernel) keys seen. */
+    size_t size() const;
+
+    /** Drop all entries; outstanding artifacts remain valid. */
+    void clear();
+
+  private:
+    /** Owns the artifact and pins the kernel it was compiled against. */
+    struct Entry
+    {
+        std::shared_ptr<const TraceSet> traces;  ///< keeps Kernel alive
+        std::shared_ptr<const CompiledKernel> compiled;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_future<std::shared_ptr<const Entry>>>
+        entries_;
+    std::atomic<uint64_t> comps_{0};
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_COMPILE_CACHE_HH

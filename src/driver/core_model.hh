@@ -2,12 +2,30 @@
  * @file
  * The common interface of the three timing/energy models. Every core
  * replays the same functional traces (bit-identical work, Section 5), so
- * one abstract surface — name() plus a const, reentrant run() — is all
- * the driver needs to dispatch a sweep over an arbitrary set of
- * architectures instead of hand-written per-architecture if-chains.
+ * one abstract surface is all the driver needs to dispatch a sweep over
+ * an arbitrary set of architectures instead of hand-written
+ * per-architecture if-chains.
  *
- * run() being const is a load-bearing guarantee: the experiment engine
- * replays one shared TraceSet from many worker threads concurrently.
+ * Execution is split into two phases, mirroring the paper's own
+ * compile/execute separation (the VGIW compiler emits per-block graph
+ * instruction words once; the BBS replays them for every thread vector):
+ *
+ *  - compile(): everything that depends only on the kernel and the
+ *    compile-relevant configuration — per-block DFG construction,
+ *    MT-CGRF place-and-route, static op counts, live-in ID lists,
+ *    post-dominator analysis. The result is an opaque, immutable
+ *    CompiledKernel artifact.
+ *  - run(traces, compiled): the dynamic replay, reading the artifact.
+ *
+ * A design-space sweep that varies only replay-side parameters (LVC
+ * size, CVT capacity, miss window...) therefore compiles each kernel
+ * once, not once per config point; the driver's CompileCache keys
+ * artifacts by compileKey() — a fingerprint of every configuration
+ * field compile() reads.
+ *
+ * compile() and run() being const is a load-bearing guarantee: the
+ * experiment engine replays one shared TraceSet (and one shared
+ * CompiledKernel) from many worker threads concurrently.
  */
 
 #ifndef VGIW_DRIVER_CORE_MODEL_HH
@@ -26,7 +44,18 @@ namespace vgiw
 
 struct SystemConfig;
 
-/** Abstract core model: a named, replayable architecture. */
+/**
+ * Opaque, immutable result of a core model's compile phase. Each
+ * architecture derives its own artifact type (placed per-block DFGs for
+ * VGIW, the whole-kernel spatial mapping for SGMF, decoded instructions
+ * and post-dominators for Fermi); run() downcasts and asserts.
+ */
+struct CompiledKernel
+{
+    virtual ~CompiledKernel() = default;
+};
+
+/** Abstract core model: a named, compilable, replayable architecture. */
 class CoreModel
 {
   public:
@@ -36,11 +65,42 @@ class CoreModel
     virtual std::string name() const = 0;
 
     /**
-     * Replay @p traces and return timing/energy statistics. Must be
-     * reentrant: the engine calls run() on the same object and the same
-     * TraceSet from several threads at once.
+     * Fingerprint of every configuration field compile() reads (grid
+     * shape, unit timings, replication policy, ...), prefixed with the
+     * architecture name. Two models with equal compileKey() produce
+     * interchangeable artifacts for the same kernel — the CompileCache
+     * key. Replay-only parameters (LVC/CVT sizes, miss window) must NOT
+     * appear here, or sweeping them would defeat the cache.
      */
-    virtual RunStats run(const TraceSet &traces) const = 0;
+    virtual std::string compileKey() const = 0;
+
+    /**
+     * Compile @p kernel into this architecture's replay artifact:
+     * per-block DFG construction, placement, static analysis. Launch
+     * geometry does not participate (tiling happens at replay time).
+     * Throws (vgiw_fatal) when the kernel cannot be compiled at all;
+     * SGMF's "does not fit the fabric" is not an error — it yields an
+     * artifact whose replay reports supported == false, as before.
+     */
+    virtual std::shared_ptr<const CompiledKernel>
+    compile(const Kernel &kernel) const = 0;
+
+    /**
+     * Replay @p traces with a precompiled artifact and return
+     * timing/energy statistics. @p compiled must come from compile() on
+     * the same kernel by a model with an identical compileKey(). Must be
+     * reentrant: the engine calls run() on the same object, the same
+     * TraceSet and the same CompiledKernel from several threads at once.
+     */
+    virtual RunStats run(const TraceSet &traces,
+                         const CompiledKernel &compiled) const = 0;
+
+    /** Compile-and-replay in one step (tools, tests, one-shot runs). */
+    RunStats
+    run(const TraceSet &traces) const
+    {
+        return run(traces, *compile(*traces.kernel));
+    }
 };
 
 /** The architecture names every sweep understands, in report order. */

@@ -136,7 +136,12 @@ ExperimentEngine::runJob(const ExperimentJob &job)
     }
 
     try {
-        out.stats = model->run(*traced.traces);
+        // Compile once per (architecture compile slice, kernel): sweep
+        // points that only vary replay-side knobs share the artifact.
+        auto compiled = ccache_.get(
+            *model, TraceCache::keyFor(job.workload, traced.traces->launch),
+            traced.traces);
+        out.stats = model->run(*traced.traces, *compiled);
         out.ran = true;
     } catch (const std::exception &e) {
         out.error = e.what();

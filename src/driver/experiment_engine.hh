@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/compile_cache.hh"
 #include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "driver/runner.hh"
@@ -126,6 +127,10 @@ class ExperimentEngine
     /** The sweep-wide trace cache (one functional execution per key). */
     TraceCache &traceCache() { return cache_; }
 
+    /** The sweep-wide compiled-kernel cache (one compile per
+     * (architecture compile slice, kernel) pair). */
+    CompileCache &compileCache() { return ccache_; }
+
     /** Serialise one result as a JSON-lines object (no newline). */
     static std::string toJsonLine(const JobResult &result);
 
@@ -134,6 +139,7 @@ class ExperimentEngine
 
     EngineOptions opts_;
     TraceCache cache_;
+    CompileCache ccache_;
 };
 
 } // namespace vgiw

@@ -6,12 +6,8 @@
 namespace vgiw
 {
 
-namespace
-{
-
-/** Cache key: workload name plus the launch geometry and parameters. */
 std::string
-cacheKey(const std::string &name, const LaunchParams &launch)
+TraceCache::keyFor(const std::string &name, const LaunchParams &launch)
 {
     std::ostringstream os;
     os << name << '|' << launch.numCtas << 'x' << launch.ctaSize;
@@ -19,8 +15,6 @@ cacheKey(const std::string &name, const LaunchParams &launch)
         os << ',' << p.bits;
     return os.str();
 }
-
-} // namespace
 
 TraceResult
 TraceCache::get(const std::string &name,
@@ -30,7 +24,7 @@ TraceCache::get(const std::string &name,
     // launch parameters it carries complete the cache key.
     auto entry = std::make_shared<Entry>();
     entry->workload = make();
-    const std::string key = cacheKey(name, entry->workload.launch);
+    const std::string key = keyFor(name, entry->workload.launch);
 
     std::promise<std::shared_ptr<const Entry>> promise;
     std::shared_future<std::shared_ptr<const Entry>> future;

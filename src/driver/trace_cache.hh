@@ -55,6 +55,14 @@ class TraceCache
     /** Convenience overload for registry entries. */
     TraceResult get(const WorkloadEntry &entry);
 
+    /**
+     * The cache key for a (workload, launch) pair — workload name plus
+     * launch geometry and parameter bits. Public so other per-kernel
+     * caches (the CompileCache) can key on the same kernel identity.
+     */
+    static std::string keyFor(const std::string &name,
+                              const LaunchParams &launch);
+
     /** Number of functional executions performed (cache misses). */
     uint64_t functionalExecutions() const { return execs_.load(); }
 

@@ -47,7 +47,7 @@ struct Terminator
      * thread of their CTA has arrived, then proceed to the successor.
      * (Extension over the paper, needed by the shared-memory Rodinia
      * kernels; block-vector draining gives VGIW these semantics almost
-     * for free — see DESIGN.md §8.)
+     * for free — see DESIGN.md §9.)
      */
     bool barrier = false;
 

@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <bit>
+
 namespace vgiw
 {
 
@@ -9,42 +11,20 @@ Cache::Cache(std::string name, const CacheGeometry &geom)
     vgiw_assert(geom_.sizeBytes % (geom_.lineBytes * geom_.ways) == 0,
                 "cache '", name_, "': size not divisible by line*ways");
     vgiw_assert(geom_.numSets() > 0, "cache '", name_, "': zero sets");
+    vgiw_assert(std::has_single_bit(geom_.lineBytes),
+                "cache '", name_, "': line size not a power of two");
     lines_.resize(size_t(geom_.numSets()) * geom_.ways);
+    numSets_ = geom_.numSets();
+    lineShift_ = uint32_t(std::countr_zero(geom_.lineBytes));
+    setShift_ = std::has_single_bit(numSets_)
+                    ? int32_t(std::countr_zero(numSets_))
+                    : -1;
 }
 
 Cache::Result
-Cache::access(uint32_t addr, bool is_write)
+Cache::accessMiss(Line *base, uint32_t tag, bool is_write)
 {
-    ++tick_;
-    const uint32_t set = setOf(addr);
-    const uint32_t tag = tagOf(addr);
-    Line *base = &lines_[size_t(set) * geom_.ways];
-
     Result res;
-
-    // Probe.
-    for (uint32_t w = 0; w < geom_.ways; ++w) {
-        Line &ln = base[w];
-        if (ln.valid && ln.tag == tag) {
-            ln.lastUse = tick_;
-            res.hit = true;
-            if (is_write) {
-                ++stats_.writeHits;
-                if (geom_.writePolicy == WritePolicy::WriteBack) {
-                    ln.dirty = true;
-                } else {
-                    // Write-through: update the line, forward the word.
-                    ++stats_.writethroughs;
-                    res.forwardWrite = true;
-                }
-            } else {
-                ++stats_.readHits;
-            }
-            return res;
-        }
-    }
-
-    // Miss.
     if (is_write)
         ++stats_.writeMisses;
     else

@@ -83,8 +83,54 @@ class Cache
 
     Cache(std::string name, const CacheGeometry &geom);
 
-    /** Perform one word access at byte address @p addr. */
-    Result access(uint32_t addr, bool is_write);
+    /**
+     * Perform one word access at byte address @p addr.
+     *
+     * Defined inline: this is the single hottest leaf of timing replay
+     * (tens of millions of calls per suite sweep), and set/tag indexing
+     * uses geometry precomputed at construction instead of re-deriving
+     * the set count (a division) on every access.
+     */
+    Result
+    access(uint32_t addr, bool is_write)
+    {
+        ++tick_;
+        const uint32_t line_addr = addr >> lineShift_;
+        uint32_t set, tag;
+        if (setShift_ >= 0) {
+            set = line_addr & (numSets_ - 1);
+            tag = line_addr >> setShift_;
+        } else {
+            set = line_addr % numSets_;
+            tag = line_addr / numSets_;
+        }
+        Line *base = &lines_[size_t(set) * geom_.ways];
+
+        Result res;
+
+        // Probe.
+        for (uint32_t w = 0; w < geom_.ways; ++w) {
+            Line &ln = base[w];
+            if (ln.valid && ln.tag == tag) {
+                ln.lastUse = tick_;
+                res.hit = true;
+                if (is_write) {
+                    ++stats_.writeHits;
+                    if (geom_.writePolicy == WritePolicy::WriteBack) {
+                        ln.dirty = true;
+                    } else {
+                        // Write-through: update line, forward the word.
+                        ++stats_.writethroughs;
+                        res.forwardWrite = true;
+                    }
+                } else {
+                    ++stats_.readHits;
+                }
+                return res;
+            }
+        }
+        return accessMiss(base, tag, is_write);
+    }
 
     /** Bank serving @p addr; lines are interleaved across banks. */
     uint32_t
@@ -109,16 +155,17 @@ class Cache
         uint64_t lastUse = 0;
     };
 
-    uint32_t setOf(uint32_t addr) const
-    { return (addr / geom_.lineBytes) % geom_.numSets(); }
-    uint32_t tagOf(uint32_t addr) const
-    { return addr / geom_.lineBytes / geom_.numSets(); }
+    /** Miss path: victim selection, writeback, fill. */
+    Result accessMiss(Line *base, uint32_t tag, bool is_write);
 
     std::string name_;
     CacheGeometry geom_;
     std::vector<Line> lines_;  // numSets * ways, way-major within a set
     CacheStats stats_;
     uint64_t tick_ = 0;
+    uint32_t numSets_ = 1;
+    uint32_t lineShift_ = 7;   ///< log2(lineBytes); lineBytes is pow2
+    int32_t setShift_ = -1;    ///< log2(numSets) if pow2, else -1
 };
 
 } // namespace vgiw

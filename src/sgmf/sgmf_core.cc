@@ -52,9 +52,66 @@ SgmfCore::supports(const Kernel &kernel) const
     return placer.placeKernel(dfgs).fits;
 }
 
-RunStats
-SgmfCore::run(const TraceSet &traces) const
+std::string
+SgmfCore::compileKey() const
 {
+    // Placement, replication and critical path read the grid, the unit
+    // timings and the replication cap; the miss window is replay-side.
+    return "sgmf|" + gridFingerprint(cfg_.grid) + "|" +
+           timingFingerprint(cfg_.timing) + "|rep:" +
+           std::to_string(cfg_.maxReplicas);
+}
+
+std::shared_ptr<const CompiledKernel>
+SgmfCore::compile(const Kernel &k) const
+{
+    auto ck = std::make_shared<SgmfCompiledKernel>();
+
+    // --- Whole-kernel spatial mapping. --------------------------------
+    Placer placer(cfg_.grid);
+    std::vector<Dfg> dfgs;
+    for (const auto &blk : k.blocks)
+        dfgs.push_back(buildBlockDfg(blk, cfg_.timing));
+    ck->placed = placer.placeKernel(dfgs);
+    ck->fits = ck->placed.fits;
+    if (!ck->fits) {
+        ck->unitsNeeded = double(totalUnits(ck->placed.totalNeeds));
+        return ck;
+    }
+
+    // Replication of the whole kernel graph when it is small enough.
+    int replicas = cfg_.maxReplicas;
+    for (int kind = 0; kind < kNumUnitKinds; ++kind) {
+        if (ck->placed.totalNeeds[kind] > 0) {
+            replicas = std::min(
+                replicas,
+                countOf(cfg_.grid.counts, UnitKind(kind)) /
+                    ck->placed.totalNeeds[kind]);
+        }
+    }
+    ck->replicas = std::max(replicas, 1);
+
+    // Static whole-graph properties.
+    ck->blockOps.reserve(k.blocks.size());
+    for (int b = 0; b < k.numBlocks(); ++b) {
+        const OpCounts oc = staticOpCounts(k.blocks[b]);
+        ck->opsInt += oc.intAlu;
+        ck->opsFp += oc.fpAlu;
+        ck->opsScu += oc.scu;
+        ck->edges += uint64_t(ck->placed.blocks[b].edgesPerThread);
+        ck->hops += uint64_t(ck->placed.blocks[b].edgeHopsPerThread);
+        ck->blockOps.push_back(oc.total());
+    }
+    ck->criticalPath = kernelCriticalPath(k, ck->placed.blocks);
+    return ck;
+}
+
+RunStats
+SgmfCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
+{
+    const auto *ck = dynamic_cast<const SgmfCompiledKernel *>(&compiled);
+    vgiw_assert(ck, "SgmfCore::run needs an SGMF compile artifact");
+
     const Kernel &k = *traces.kernel;
     const EnergyTable &e = cfg_.energy;
 
@@ -62,43 +119,14 @@ SgmfCore::run(const TraceSet &traces) const
     rs.arch = "sgmf";
     rs.kernelName = k.name;
 
-    // --- Whole-kernel spatial mapping. --------------------------------
-    Placer placer(cfg_.grid);
-    std::vector<Dfg> dfgs;
-    for (const auto &blk : k.blocks)
-        dfgs.push_back(buildBlockDfg(blk, cfg_.timing));
-    PlacedKernel pk = placer.placeKernel(dfgs);
-    if (!pk.fits) {
+    if (!ck->fits) {
         rs.supported = false;
-        rs.extra.set("sgmf.units_needed", double(totalUnits(pk.totalNeeds)));
+        rs.extra.set("sgmf.units_needed", ck->unitsNeeded);
         return rs;
     }
 
-    // Replication of the whole kernel graph when it is small enough.
-    int replicas = cfg_.maxReplicas;
-    for (int kind = 0; kind < kNumUnitKinds; ++kind) {
-        if (pk.totalNeeds[kind] > 0) {
-            replicas = std::min(
-                replicas,
-                countOf(cfg_.grid.counts, UnitKind(kind)) /
-                    pk.totalNeeds[kind]);
-        }
-    }
-    replicas = std::max(replicas, 1);
-
-    // Static whole-graph properties.
-    uint64_t ops_int = 0, ops_fp = 0, ops_scu = 0, ops_mem = 0;
-    uint64_t edges = 0, hops = 0;
-    for (int b = 0; b < k.numBlocks(); ++b) {
-        const OpCounts oc = staticOpCounts(k.blocks[b]);
-        ops_int += oc.intAlu;
-        ops_fp += oc.fpAlu;
-        ops_scu += oc.scu;
-        ops_mem += oc.mem();
-        edges += uint64_t(pk.blocks[b].edgesPerThread);
-        hops += uint64_t(pk.blocks[b].edgeHopsPerThread);
-    }
-    const int critical = kernelCriticalPath(k, pk.blocks);
+    const int replicas = ck->replicas;
+    const int critical = ck->criticalPath;
 
     // --- Replay: injections + memory traffic. --------------------------
     MemorySystem ms(vgiwL1Geometry());
@@ -148,13 +176,13 @@ SgmfCore::run(const TraceSet &traces) const
     // the control-divergence waste of the all-paths spatial mapping.
     rs.energy.add(EnergyComponent::Datapath,
                   double(injections) *
-                      (ops_int * e.intAluOp + ops_fp * e.fpAluOp +
-                       ops_scu * e.scuOp) +
+                      (ck->opsInt * e.intAluOp + ck->opsFp * e.fpAluOp +
+                       ck->opsScu * e.scuOp) +
                       double(ms.l1().stats().accesses()) * e.ldstIssue);
     rs.energy.add(EnergyComponent::TokenFabric,
                   double(injections) *
-                      (double(edges) * e.tokenBufferRw +
-                       double(hops) * e.tokenHop));
+                      (double(ck->edges) * e.tokenBufferRw +
+                       double(ck->hops) * e.tokenHop));
     rs.energy.add(EnergyComponent::Config,
                   e.configPerUnit * cfg_.grid.numUnits());
     rs.energy.add(EnergyComponent::Scratchpad,
@@ -166,20 +194,17 @@ SgmfCore::run(const TraceSet &traces) const
     rs.energy.add(EnergyComponent::Dram,
                   ms.dram().stats().accesses * e.dramAccessLine);
 
-    std::vector<uint32_t> block_ops;
-    for (const auto &blk : k.blocks)
-        block_ops.push_back(staticOpCounts(blk).total());
     rs.dynThreadOps = 0;
     for (const auto &tr : traces.threads)
         for (const auto &ex : tr.execs)
-            rs.dynThreadOps += block_ops[ex.block];
+            rs.dynThreadOps += ck->blockOps[ex.block];
 
     rs.l1Stats = ms.l1().stats();
     rs.l2Stats = ms.l2().stats();
     rs.dramStats = ms.dram().stats();
     rs.extra.set("sgmf.replicas", double(replicas));
     rs.extra.set("sgmf.injections", double(injections));
-    rs.extra.set("sgmf.units_used", double(pk.unitsUsed));
+    rs.extra.set("sgmf.units_used", double(ck->placed.unitsUsed));
     return rs;
 }
 

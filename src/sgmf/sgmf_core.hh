@@ -24,8 +24,13 @@
 #ifndef VGIW_SGMF_SGMF_CORE_HH
 #define VGIW_SGMF_SGMF_CORE_HH
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "cgrf/dataflow_graph.hh"
 #include "cgrf/grid.hh"
+#include "cgrf/placer.hh"
 #include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
@@ -45,6 +50,24 @@ struct SgmfConfig
     int maxReplicas = 8;
 };
 
+/**
+ * SGMF compile artifact: the whole-kernel spatial mapping plus the
+ * static graph properties replay multiplies by injection counts. A
+ * kernel that does not fit the fabric still compiles (fits == false);
+ * the verdict is part of the artifact so sweeps don't re-place it.
+ */
+struct SgmfCompiledKernel final : CompiledKernel
+{
+    bool fits = false;
+    double unitsNeeded = 0.0;  ///< when !fits: demand that overflowed
+    PlacedKernel placed;
+    int replicas = 1;          ///< whole-graph replication factor
+    uint64_t opsInt = 0, opsFp = 0, opsScu = 0;
+    uint64_t edges = 0, hops = 0;
+    int criticalPath = 0;      ///< pipeline depth over forward edges
+    std::vector<uint32_t> blockOps;  ///< static ops per block
+};
+
 /** Cycle-approximate SGMF core model. */
 class SgmfCore final : public CoreModel
 {
@@ -53,11 +76,20 @@ class SgmfCore final : public CoreModel
 
     std::string name() const override { return "sgmf"; }
 
+    std::string compileKey() const override;
+
+    /** Whole-kernel placement, replication and static graph counts. */
+    std::shared_ptr<const CompiledKernel>
+    compile(const Kernel &kernel) const override;
+
     /**
-     * Replay @p traces. When the kernel does not fit the fabric the
-     * returned stats have supported == false (and no timing data).
+     * Replay @p traces against a compiled mapping. When the kernel does
+     * not fit the fabric the returned stats have supported == false
+     * (and no timing data).
      */
-    RunStats run(const TraceSet &traces) const override;
+    RunStats run(const TraceSet &traces,
+                 const CompiledKernel &compiled) const override;
+    using CoreModel::run;
 
     /** Whether @p kernel can be mapped at all. */
     bool supports(const Kernel &kernel) const;

@@ -1,12 +1,11 @@
 #include "simt/fermi_core.hh"
 
 #include <algorithm>
+#include <array>
 #include <limits>
-#include <map>
 #include <vector>
 
 #include "common/logging.hh"
-#include "ir/op_counts.hh"
 #include "ir/post_dominators.hh"
 #include "mem/memory_system.hh"
 #include "simt/simt_stack.hh"
@@ -37,9 +36,49 @@ struct Warp
 
 } // namespace
 
-RunStats
-FermiCore::run(const TraceSet &traces) const
+std::string
+FermiCore::compileKey() const
 {
+    // Decode and the post-dominator tree depend on the kernel alone:
+    // one artifact serves every Fermi configuration point.
+    return "fermi";
+}
+
+std::shared_ptr<const CompiledKernel>
+FermiCore::compile(const Kernel &k) const
+{
+    auto ck = std::make_shared<FermiCompiledKernel>(k);
+    ck->decoded.reserve(k.blocks.size());
+    ck->branchCondRf.reserve(k.blocks.size());
+    for (const auto &blk : k.blocks) {
+        std::vector<FermiDecodedInstr> ds;
+        ds.reserve(blk.instrs.size());
+        for (const Instr &in : blk.instrs) {
+            FermiDecodedInstr d;
+            for (const auto &s : in.src)
+                if (s.isRegisterRead())
+                    ++d.rfAccesses;
+            if (in.op != Opcode::Store)
+                ++d.rfAccesses;  // destination write
+            d.isMemory = in.isMemory();
+            d.isShared = in.space == MemSpace::Shared;
+            d.isStore = in.op == Opcode::Store;
+            d.resource = opcodeResource(in.op, in.type);
+            ds.push_back(d);
+        }
+        ck->decoded.push_back(std::move(ds));
+        ck->branchCondRf.push_back(blk.term.kind == TermKind::Branch &&
+                                   blk.term.cond.isRegisterRead());
+    }
+    return ck;
+}
+
+RunStats
+FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
+{
+    const auto *ck = dynamic_cast<const FermiCompiledKernel *>(&compiled);
+    vgiw_assert(ck, "FermiCore::run needs a Fermi compile artifact");
+
     const Kernel &k = *traces.kernel;
     const LaunchParams &launch = traces.launch;
     const int num_threads = launch.numThreads();
@@ -49,7 +88,7 @@ FermiCore::run(const TraceSet &traces) const
     rs.arch = "fermi";
     rs.kernelName = k.name;
 
-    PostDominators pd(k);
+    const PostDominators &pd = ck->pd;
     MemorySystem ms(fermiL1Geometry());
 
     // Per-thread pointer into its trace.
@@ -86,69 +125,93 @@ FermiCore::run(const TraceSet &traces) const
     std::vector<int> live_warps_in_cta(size_t(launch.numCtas),
                                        warps_per_cta);
 
-    auto warp_resident = [&](const Warp &w) { return w.cta < cta_hi; };
-
     uint64_t clock = 0;
     uint64_t shared_accesses = 0;
     uint64_t active_lane_slots = 0;  // Fig. 1b: occupied lanes per issue
     uint64_t issued_slots = 0;
     int rr = 0;  // round-robin pointer
 
-    auto all_done = [&warps]() {
-        for (const auto &w : warps)
-            if (!w.done)
-                return false;
-        return true;
-    };
+    // Scheduler candidate list: warp IDs not yet done, ascending. The
+    // per-issue pick scan walks this instead of all warps — completed
+    // warps can never be selected again, and without pruning them the
+    // scan is O(total warps) per issued instruction (quadratic end-game
+    // on large launches, the dominant cost of big SIMT replays).
+    std::vector<int> alive;
+    alive.reserve(size_t(total_warps));
+    for (int w = 0; w < total_warps; ++w)
+        if (!warps[w].done)
+            alive.push_back(w);
 
-    // Barrier release: when every live warp of a CTA is waiting.
+    // Barrier release: when every live warp of a CTA is waiting. A
+    // CTA's warps occupy the contiguous ID range [cta*warps_per_cta,
+    // (cta+1)*warps_per_cta).
     auto try_release_barrier = [&](int cta) {
+        const int lo = cta * warps_per_cta;
+        const int hi = lo + warps_per_cta;
         int waiting = 0, live = 0;
-        for (const auto &w : warps) {
-            if (w.cta != cta || w.done)
+        for (int w = lo; w < hi; ++w) {
+            if (warps[w].done)
                 continue;
             ++live;
-            if (w.atBarrier)
+            if (warps[w].atBarrier)
                 ++waiting;
         }
         if (live > 0 && waiting == live) {
-            for (auto &w : warps) {
-                if (w.cta == cta && !w.done && w.atBarrier) {
-                    w.atBarrier = false;
-                    w.readyAt = clock + 1;
+            for (int w = lo; w < hi; ++w) {
+                if (!warps[w].done && warps[w].atBarrier) {
+                    warps[w].atBarrier = false;
+                    warps[w].readyAt = clock + 1;
                 }
             }
         }
     };
 
-    auto on_warp_done = [&](Warp &w) {
-        w.done = true;
-        if (--live_warps_in_cta[w.cta] == 0) {
+    auto on_warp_done = [&](int w) {
+        Warp &warp = warps[w];
+        warp.done = true;
+        alive.erase(std::lower_bound(alive.begin(), alive.end(), w));
+        if (--live_warps_in_cta[warp.cta] == 0) {
             if (cta_hi < launch.numCtas)
                 ++cta_hi;
         } else {
-            try_release_barrier(w.cta);  // it may have been the straggler
+            try_release_barrier(warp.cta);  // it may have been the straggler
         }
     };
 
-    while (!all_done()) {
-        // Pick the next ready, resident warp (round-robin, greedy).
+    while (!alive.empty()) {
+        // Pick the next ready, resident warp: the first candidate in
+        // circular warp-ID order starting at rr — the same round-robin
+        // greedy policy as scanning every warp. Residency is a prefix of
+        // CTA (hence warp) IDs, so the scan is bounded by the resident
+        // window (<= maxResidentWarps), not the launch size; the
+        // earliest-wakeup fallback folds into the same pass.
+        const int res_limit = cta_hi * warps_per_cta;
+        const size_t upper = size_t(
+            std::lower_bound(alive.begin(), alive.end(), res_limit) -
+            alive.begin());
         int pick = -1;
-        for (int i = 0; i < total_warps; ++i) {
-            const int w = (rr + i) % total_warps;
-            const Warp &warp = warps[w];
-            if (!warp.done && !warp.atBarrier && warp_resident(warp) &&
-                warp.readyAt <= clock) {
-                pick = w;
-                break;
+        uint64_t next = kNever;
+        if (upper > 0) {
+            size_t start = size_t(
+                std::lower_bound(alive.begin(), alive.begin() + long(upper),
+                                 rr) -
+                alive.begin());
+            if (start == upper)
+                start = 0;  // rr past the window: wrap to the smallest ID
+            for (size_t i = 0; i < upper; ++i) {
+                const size_t j =
+                    start + i < upper ? start + i : start + i - upper;
+                const Warp &warp = warps[alive[j]];
+                if (warp.atBarrier)
+                    continue;
+                if (warp.readyAt <= clock) {
+                    pick = alive[j];
+                    break;
+                }
+                next = std::min(next, warp.readyAt);
             }
         }
         if (pick < 0) {
-            uint64_t next = kNever;
-            for (const auto &w : warps) {
-                if (!w.done && !w.atBarrier && warp_resident(w))
-                    next = std::min(next, w.readyAt);
-            }
             vgiw_assert(next != kNever, "kernel '", k.name,
                         "': SM deadlock (barrier without release?)");
             clock = next;
@@ -182,7 +245,7 @@ FermiCore::run(const TraceSet &traces) const
 
         if (warp.instrIdx < blk.instrs.size()) {
             // ---- Issue one warp instruction. -------------------------
-            const Instr &in = blk.instrs[warp.instrIdx];
+            const FermiDecodedInstr &in = ck->decoded[b][warp.instrIdx];
             ++warp.instrIdx;
             ++rs.dynWarpInstrs;
             rs.dynThreadOps += uint64_t(active);
@@ -190,13 +253,9 @@ FermiCore::run(const TraceSet &traces) const
             ++issued_slots;
 
             // Register file: one access per warp register operand plus
-            // the result write (Fig. 3's counting rule).
-            uint32_t rf = 0;
-            for (const auto &s : in.src)
-                if (s.isRegisterRead())
-                    ++rf;
-            if (in.op != Opcode::Store)
-                ++rf;  // destination write
+            // the result write (Fig. 3's counting rule), pre-counted at
+            // decode time.
+            const uint32_t rf = in.rfAccesses;
             rs.rfAccesses += rf;
             rs.energy.add(EnergyComponent::RegisterFile,
                           rf * e.rfAccessWarp);
@@ -204,9 +263,9 @@ FermiCore::run(const TraceSet &traces) const
 
             uint64_t issue_cost = 1;
 
-            if (in.isMemory()) {
-                const bool is_store = in.op == Opcode::Store;
-                if (in.space == MemSpace::Shared) {
+            if (in.isMemory) {
+                const bool is_store = in.isStore;
+                if (in.isShared) {
                     // Scratchpad: serialised by bank conflicts.
                     std::array<uint32_t, 32> bank{};
                     for (int lane = 0; lane < 32; ++lane) {
@@ -230,8 +289,10 @@ FermiCore::run(const TraceSet &traces) const
                                   double(active) * e.sharedAccessWord);
                 } else {
                     // Coalescer: merge the warp's accesses into 128 B
-                    // transactions.
-                    std::map<uint32_t, bool> lines;  // line -> any access
+                    // transactions, issued in ascending line order. At
+                    // most 32 lanes -> a sorted stack array, no heap.
+                    std::array<uint32_t, 32> lines;
+                    int num_lines = 0;
                     for (int lane = 0; lane < 32; ++lane) {
                         if (!((mask >> lane) & 1))
                             continue;
@@ -239,18 +300,26 @@ FermiCore::run(const TraceSet &traces) const
                         const MemAccess &acc =
                             traces.threads[tid]
                                 .accesses[warp.accessCursor[lane]++];
-                        lines.emplace(acc.addr / 128, true);
+                        const uint32_t line = acc.addr / 128;
+                        int pos = 0;
+                        while (pos < num_lines && lines[pos] < line)
+                            ++pos;
+                        if (pos == num_lines || lines[pos] != line) {
+                            for (int j = num_lines; j > pos; --j)
+                                lines[j] = lines[j - 1];
+                            lines[pos] = line;
+                            ++num_lines;
+                        }
                     }
                     uint32_t max_lat = 0;
-                    for (const auto &[line, unused] : lines) {
-                        (void)unused;
+                    for (int i = 0; i < num_lines; ++i) {
                         const MemAccessResult r =
-                            ms.access(line * 128, is_store);
+                            ms.access(lines[i] * 128, is_store);
                         max_lat = std::max(max_lat, r.latency);
                         rs.energy.add(EnergyComponent::L1,
                                       e.l1AccessLine);
                     }
-                    issue_cost = std::max<uint64_t>(1, lines.size());
+                    issue_cost = std::max<uint64_t>(1, uint64_t(num_lines));
                     if (!is_store)
                         warp.readyAt = clock + issue_cost + max_lat;
                     // Stores retire through the write-through path
@@ -259,7 +328,7 @@ FermiCore::run(const TraceSet &traces) const
                 rs.energy.add(EnergyComponent::Datapath,
                               double(active) * e.ldstIssue);
             } else {
-                switch (opcodeResource(in.op, in.type)) {
+                switch (in.resource) {
                   case ResourceClass::Scu:
                     issue_cost = uint64_t(cfg_.scuIssueCycles);
                     rs.energy.add(EnergyComponent::Datapath,
@@ -289,7 +358,7 @@ FermiCore::run(const TraceSet &traces) const
         if (blk.term.kind == TermKind::Branch) {
             ++rs.dynWarpInstrs;
             rs.energy.add(EnergyComponent::Frontend, e.frontendWarpInstr);
-            if (blk.term.cond.isRegisterRead()) {
+            if (ck->branchCondRf[b]) {
                 ++rs.rfAccesses;
                 rs.energy.add(EnergyComponent::RegisterFile,
                               e.rfAccessWarp);
@@ -316,7 +385,7 @@ FermiCore::run(const TraceSet &traces) const
         warp.readyAt = std::max(warp.readyAt, clock);
 
         if (warp.stack.done()) {
-            on_warp_done(warp);
+            on_warp_done(pick);
         } else if (blk.term.barrier) {
             warp.atBarrier = true;
             try_release_barrier(warp.cta);

@@ -17,10 +17,14 @@
 #define VGIW_SIMT_FERMI_CORE_HH
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
+#include "ir/opcode.hh"
+#include "ir/post_dominators.hh"
 #include "power/energy_model.hh"
 
 namespace vgiw
@@ -48,6 +52,32 @@ struct FermiConfig
     EnergyTable energy{};
 };
 
+/** One pre-decoded warp instruction (the SM frontend's work, done once
+ * per kernel instead of once per dynamic issue). */
+struct FermiDecodedInstr
+{
+    uint32_t rfAccesses = 0;  ///< warp RF ops: register reads + dest write
+    bool isMemory = false;
+    bool isShared = false;
+    bool isStore = false;
+    ResourceClass resource = ResourceClass::IntAlu;
+};
+
+/**
+ * Fermi compile artifact: the post-dominator tree that drives SIMT
+ * reconvergence plus the per-block decoded instruction streams.
+ */
+struct FermiCompiledKernel final : CompiledKernel
+{
+    explicit FermiCompiledKernel(const Kernel &kernel) : pd(kernel) {}
+
+    PostDominators pd;
+    std::vector<std::vector<FermiDecodedInstr>> decoded;  ///< per block
+    /** Per block: terminator is a branch whose condition reads a
+     * register (one RF access per dynamic branch). */
+    std::vector<uint8_t> branchCondRf;
+};
+
 /** Event-driven Fermi SM model. */
 class FermiCore final : public CoreModel
 {
@@ -56,8 +86,17 @@ class FermiCore final : public CoreModel
 
     std::string name() const override { return "fermi"; }
 
+    std::string compileKey() const override;
+
+    /** Decode the kernel and build the reconvergence (post-dominator)
+     * tree. Config-independent: every Fermi sweep point shares it. */
+    std::shared_ptr<const CompiledKernel>
+    compile(const Kernel &kernel) const override;
+
     /** Replay @p traces and return timing/energy statistics. */
-    RunStats run(const TraceSet &traces) const override;
+    RunStats run(const TraceSet &traces,
+                 const CompiledKernel &compiled) const override;
+    using CoreModel::run;
 
     const FermiConfig &config() const { return cfg_; }
 

@@ -1,5 +1,7 @@
 #include "vgiw/control_vector_table.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace vgiw
@@ -65,13 +67,26 @@ ControlVectorTable::pendingCount(int block) const
 std::vector<uint32_t>
 ControlVectorTable::drain(int block)
 {
+    std::vector<uint32_t> out;
+    drainInto(block, out);
+    return out;
+}
+
+void
+ControlVectorTable::drainInto(int block, std::vector<uint32_t> &out)
+{
     vgiw_assert(block >= 0 && block < numBlocks(), "bad block ", block);
     BitVector &v = vectors_[block];
-    std::vector<uint32_t> out = v.toIndices();
-    for (size_t w = 0; w < v.numWords(); ++w)
-        v.readAndResetWord(w);
+    out.clear();
+    for (size_t w = 0; w < v.numWords(); ++w) {
+        uint64_t bits = v.readAndResetWord(w);
+        while (bits) {
+            out.push_back(uint32_t(w * 64) +
+                          uint32_t(std::countr_zero(bits)));
+            bits &= bits - 1;
+        }
+    }
     stats_.wordReads += v.numWords();
-    return out;
 }
 
 } // namespace vgiw

@@ -66,6 +66,14 @@ class ControlVectorTable
      */
     std::vector<uint32_t> drain(int block);
 
+    /**
+     * Allocation-free drain: read-and-reset @p block's vector into
+     * @p out (cleared first; capacity is reused across calls). Counts
+     * exactly like drain() — the BBS reuses one drain buffer for every
+     * scheduled block vector of a tile.
+     */
+    void drainInto(int block, std::vector<uint32_t> &out);
+
     const CvtStats &stats() const { return stats_; }
 
   private:

@@ -23,35 +23,9 @@ LiveValueCache::LiveValueCache(const CacheGeometry &geom, MemorySystem &ms,
 {}
 
 uint32_t
-LiveValueCache::addressOf(uint16_t lvid, uint32_t tid) const
-{
-    // Row-major by live value ID: consecutive threads' instances of one
-    // live value are contiguous, so a thread vector streams each live
-    // value with full spatial locality.
-    return kRegionBase + (uint32_t(lvid) * maxThreads_ + tid) * 4;
-}
-
-uint32_t
 LiveValueCache::bankOf(uint16_t lvid, uint32_t tid) const
 {
     return cache_.bankOf(addressOf(lvid, tid));
-}
-
-LiveValueCache::Result
-LiveValueCache::access(uint16_t lvid, uint32_t tid, bool is_write)
-{
-    const uint32_t addr = addressOf(lvid, tid);
-    Cache::Result r = cache_.access(addr, is_write);
-
-    Result out;
-    out.hit = r.hit;
-    out.latency = hitLatency_;
-
-    if (r.writeback)
-        ms_.accessL2Direct(addr, true);
-    if (r.fill)
-        out.latency += ms_.accessL2Direct(addr, false).latency;
-    return out;
 }
 
 } // namespace vgiw

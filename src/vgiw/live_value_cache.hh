@@ -42,8 +42,27 @@ class LiveValueCache
         uint32_t latency = 0;
     };
 
-    /** Access live value @p lvid of thread @p tid. */
-    Result access(uint16_t lvid, uint32_t tid, bool is_write);
+    /**
+     * Access live value @p lvid of thread @p tid. Inline: this sits on
+     * the per-thread-per-live-value replay path (tens of millions of
+     * calls per sweep) and is a thin wrapper over Cache::access.
+     */
+    Result
+    access(uint16_t lvid, uint32_t tid, bool is_write)
+    {
+        const uint32_t addr = addressOf(lvid, tid);
+        Cache::Result r = cache_.access(addr, is_write);
+
+        Result out;
+        out.hit = r.hit;
+        out.latency = hitLatency_;
+
+        if (r.writeback)
+            ms_.accessL2Direct(addr, true);
+        if (r.fill)
+            out.latency += ms_.accessL2Direct(addr, false).latency;
+        return out;
+    }
 
     /** Word accesses so far (the Fig. 3 numerator). */
     uint64_t accesses() const { return cache_.stats().accesses(); }
@@ -52,7 +71,16 @@ class LiveValueCache
     uint32_t bankOf(uint16_t lvid, uint32_t tid) const;
 
   private:
-    uint32_t addressOf(uint16_t lvid, uint32_t tid) const;
+    /**
+     * Row-major by live value ID: consecutive threads' instances of one
+     * live value are contiguous, so a thread vector streams each live
+     * value with full spatial locality.
+     */
+    uint32_t
+    addressOf(uint16_t lvid, uint32_t tid) const
+    {
+        return kRegionBase + (uint32_t(lvid) * maxThreads_ + tid) * 4;
+    }
 
     Cache cache_;
     MemorySystem &ms_;

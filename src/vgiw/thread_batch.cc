@@ -7,6 +7,15 @@ std::vector<ThreadBatch>
 packBatches(const std::vector<uint32_t> &tids)
 {
     std::vector<ThreadBatch> out;
+    packBatchesInto(tids, out);
+    return out;
+}
+
+void
+packBatchesInto(const std::vector<uint32_t> &tids,
+                std::vector<ThreadBatch> &out)
+{
+    out.clear();
     for (uint32_t tid : tids) {
         const uint32_t base = tid & ~63u;
         if (out.empty() || out.back().base != base) {
@@ -14,7 +23,6 @@ packBatches(const std::vector<uint32_t> &tids)
         }
         out.back().bitmap |= uint64_t{1} << (tid & 63u);
     }
-    return out;
 }
 
 } // namespace vgiw

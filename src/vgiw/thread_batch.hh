@@ -46,6 +46,13 @@ struct ThreadBatch
  */
 std::vector<ThreadBatch> packBatches(const std::vector<uint32_t> &tids);
 
+/**
+ * Allocation-free packBatches: fills @p out (cleared first, capacity
+ * reused) with the same packets packBatches would return.
+ */
+void packBatchesInto(const std::vector<uint32_t> &tids,
+                     std::vector<ThreadBatch> &out);
+
 } // namespace vgiw
 
 #endif // VGIW_VGIW_THREAD_BATCH_HH

@@ -1,12 +1,12 @@
 #include "vgiw/vgiw_core.hh"
 
 #include <algorithm>
-#include <unordered_set>
 #include <vector>
 
 #include "cgrf/config_cost.hh"
 #include "cgrf/placer.hh"
 #include "common/logging.hh"
+#include "common/scratch_set.hh"
 #include "ir/op_counts.hh"
 #include "mem/bank_merge.hh"
 #include "mem/memory_system.hh"
@@ -19,14 +19,25 @@ namespace vgiw
 namespace
 {
 
-/** Distinct live-value IDs a block reads (in first-use order). */
+/**
+ * Distinct live-value IDs a block reads (in first-use order). Linear in
+ * the operand count: a seen-bitmap over the kernel's live-value ID space
+ * replaces the quadratic find-in-output scan.
+ */
 std::vector<uint16_t>
-liveInIds(const BasicBlock &blk)
+liveInIds(const BasicBlock &blk, int num_live_values)
 {
     std::vector<uint16_t> ids;
-    auto note = [&ids](const Operand &o) {
-        if (o.kind == OperandKind::LiveIn &&
-            std::find(ids.begin(), ids.end(), o.index) == ids.end()) {
+    std::vector<uint64_t> seen(size_t(num_live_values + 63) / 64, 0);
+    auto note = [&](const Operand &o) {
+        if (o.kind != OperandKind::LiveIn)
+            return;
+        vgiw_assert(int(o.index) < num_live_values, "live-value id ",
+                    o.index, " out of range");
+        uint64_t &word = seen[o.index / 64];
+        const uint64_t bit = uint64_t{1} << (o.index % 64);
+        if (!(word & bit)) {
+            word |= bit;
             ids.push_back(o.index);
         }
     };
@@ -40,6 +51,42 @@ liveInIds(const BasicBlock &blk)
 }
 
 } // namespace
+
+std::string
+VgiwCore::compileKey() const
+{
+    // Everything compile() reads: grid shape/counts (placement), unit
+    // timings (critical paths), and the replication policy. LVC/CVT
+    // sizes and the miss window are replay-side and deliberately absent.
+    return "vgiw|" + gridFingerprint(cfg_.grid) + "|" +
+           timingFingerprint(cfg_.timing) + "|rep:" +
+           std::to_string(cfg_.enableReplication ? cfg_.maxReplicas : 1);
+}
+
+std::shared_ptr<const CompiledKernel>
+VgiwCore::compile(const Kernel &k) const
+{
+    auto ck = std::make_shared<VgiwCompiledKernel>();
+    Placer placer(cfg_.grid);
+    double total_util = 0.0;
+    ck->placed.reserve(k.blocks.size());
+    ck->ops.reserve(k.blocks.size());
+    ck->liveIns.reserve(k.blocks.size());
+    for (const auto &blk : k.blocks) {
+        const Dfg dfg = buildBlockDfg(blk, cfg_.timing);
+        ck->placed.push_back(placer.place(
+            dfg, cfg_.enableReplication ? cfg_.maxReplicas : 1));
+        if (!ck->placed.back().fits) {
+            vgiw_fatal("kernel '", k.name, "' block '", blk.name,
+                       "' does not fit the MT-CGRF grid");
+        }
+        ck->ops.push_back(staticOpCounts(blk));
+        ck->liveIns.push_back(liveInIds(blk, k.numLiveValues));
+        total_util += ck->placed.back().utilization(cfg_.grid.numUnits());
+    }
+    ck->avgUtilization = total_util / double(k.numBlocks());
+    return ck;
+}
 
 int
 VgiwCore::tileSizeFor(const Kernel &kernel, const LaunchParams &launch) const
@@ -57,38 +104,22 @@ VgiwCore::tileSizeFor(const Kernel &kernel, const LaunchParams &launch) const
 }
 
 RunStats
-VgiwCore::run(const TraceSet &traces) const
+VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
 {
+    const auto *ck = dynamic_cast<const VgiwCompiledKernel *>(&compiled);
+    vgiw_assert(ck, "VgiwCore::run needs a VGIW compile artifact");
+
     const Kernel &k = *traces.kernel;
     const LaunchParams &launch = traces.launch;
     const int num_blocks = k.numBlocks();
     const int num_threads = launch.numThreads();
+    vgiw_assert(int(ck->placed.size()) == num_blocks,
+                "compile artifact/kernel mismatch");
 
     RunStats rs;
     rs.arch = "vgiw";
     rs.kernelName = k.name;
-
-    // --- Compile: per-block DFGs, placement, replication. -------------
-    Placer placer(cfg_.grid);
-    std::vector<Dfg> dfgs;
-    std::vector<PlacedBlock> placed;
-    std::vector<OpCounts> ops;
-    std::vector<std::vector<uint16_t>> live_ins;
-    double total_util = 0.0;
-    for (const auto &blk : k.blocks) {
-        dfgs.push_back(buildBlockDfg(blk, cfg_.timing));
-        placed.push_back(placer.place(
-            dfgs.back(), cfg_.enableReplication ? cfg_.maxReplicas : 1));
-        if (!placed.back().fits) {
-            vgiw_fatal("kernel '", k.name, "' block '", blk.name,
-                       "' does not fit the MT-CGRF grid");
-        }
-        ops.push_back(staticOpCounts(blk));
-        live_ins.push_back(liveInIds(blk));
-        total_util += placed.back().utilization(cfg_.grid.numUnits());
-    }
-    rs.extra.set("placement.avg_utilization",
-                 total_util / double(num_blocks));
+    rs.extra.set("placement.avg_utilization", ck->avgUtilization);
 
     // --- Runtime structures. -------------------------------------------
     MemorySystem ms(vgiwL1Geometry());
@@ -101,8 +132,17 @@ VgiwCore::run(const TraceSet &traces) const
     std::vector<uint32_t> exec_ptr(size_t(num_threads), 0);
     BankMergeModel l1_banks_model(l1_banks);
     BankMergeModel shared_banks_model(32);
+
+    // Per-core replay scratch, allocated once and reused for every
+    // scheduled block vector: the hot loop itself is allocation-free.
     std::vector<std::vector<uint32_t>> succ_tids(
         static_cast<size_t>(num_blocks));
+    std::vector<uint32_t> rel_tids;   // CVT drain buffer
+    std::vector<uint32_t> gtids;      // observer scratch
+    std::vector<ThreadBatch> batches; // terminator CVU packets
+    // Lines already serviced for this vector when the (future-work)
+    // coalescer is enabled; key = line*2 + isStore.
+    ScratchSet coalesced;
 
     const int tile = tileSizeFor(k, launch);
     uint64_t compute_cycles = 0;
@@ -148,18 +188,17 @@ VgiwCore::run(const TraceSet &traces) const
                 break;
             }
 
-            const std::vector<uint32_t> rel_tids = cvt.drain(b);
+            cvt.drainInto(b, rel_tids);
             const uint64_t v = rel_tids.size();
             vector_sum += v;
             ++vectors_scheduled;
             if (cfg_.blockObserver) {
-                std::vector<uint32_t> gtids;
-                gtids.reserve(rel_tids.size());
+                gtids.clear();
                 for (uint32_t rel : rel_tids)
                     gtids.push_back(uint32_t(tile_start) + rel);
                 cfg_.blockObserver(b, gtids);
             }
-            const PlacedBlock &pb = placed[b];
+            const PlacedBlock &pb = ck->placed[b];
             const int replicas =
                 cfg_.enableReplication ? pb.replicas : 1;
             const BasicBlock &blk = k.blocks[b];
@@ -180,9 +219,7 @@ VgiwCore::run(const TraceSet &traces) const
             for (auto &s : succ_tids)
                 s.clear();
             uint64_t miss_latency = 0;
-            // Lines already serviced for this vector when the
-            // (future-work) coalescer is enabled; key = line*2 + isStore.
-            std::unordered_set<uint64_t> coalesced;
+            coalesced.clear();
 
             for (uint32_t rel : rel_tids) {
                 const uint32_t gtid = uint32_t(tile_start) + rel;
@@ -205,7 +242,7 @@ VgiwCore::run(const TraceSet &traces) const
                     if (cfg_.enableMemoryCoalescing) {
                         const uint64_t key =
                             uint64_t(acc.addr / 128) * 2 + acc.isStore;
-                        if (!coalesced.insert(key).second)
+                        if (!coalesced.insert(key))
                             continue;  // merged into an earlier request
                     }
                     const MemAccessResult r =
@@ -217,7 +254,7 @@ VgiwCore::run(const TraceSet &traces) const
                 }
 
                 // Live-value traffic through the LVC.
-                for (uint16_t lvid : live_ins[b]) {
+                for (uint16_t lvid : ck->liveIns[b]) {
                     auto r = lvc.access(lvid, gtid, false);
                     if (!r.hit)
                         miss_latency += r.latency;
@@ -248,7 +285,8 @@ VgiwCore::run(const TraceSet &traces) const
             for (int s = 0; s < num_blocks; ++s) {
                 if (succ_tids[s].empty())
                     continue;
-                for (const ThreadBatch &batch : packBatches(succ_tids[s]))
+                packBatchesInto(succ_tids[s], batches);
+                for (const ThreadBatch &batch : batches)
                     cvt.orBatch(s, batch);
             }
 
@@ -262,7 +300,7 @@ VgiwCore::run(const TraceSet &traces) const
                 uint64_t(pb.criticalPathCycles);
 
             // --- Energy for this vector. ------------------------------
-            const OpCounts &oc = ops[b];
+            const OpCounts &oc = ck->ops[b];
             rs.energy.add(EnergyComponent::Datapath,
                           v * (oc.intAlu * e.intAluOp +
                                oc.fpAlu * e.fpAluOp + oc.scu * e.scuOp +

@@ -24,13 +24,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cgrf/dataflow_graph.hh"
 #include "cgrf/grid.hh"
+#include "cgrf/placer.hh"
 #include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
+#include "ir/op_counts.hh"
 #include "power/energy_model.hh"
 
 namespace vgiw
@@ -82,6 +85,19 @@ struct VgiwConfig
         blockObserver;
 };
 
+/**
+ * VGIW compile artifact: the per-block graph instruction words after
+ * place-and-route, plus the static per-block properties replay consumes.
+ * Immutable once built; shared across concurrent replays.
+ */
+struct VgiwCompiledKernel final : CompiledKernel
+{
+    std::vector<PlacedBlock> placed;          ///< one per basic block
+    std::vector<OpCounts> ops;                ///< static op counts
+    std::vector<std::vector<uint16_t>> liveIns;  ///< distinct live-in IDs
+    double avgUtilization = 0.0;  ///< mean grid utilisation over blocks
+};
+
 /** Cycle-approximate VGIW core model. */
 class VgiwCore final : public CoreModel
 {
@@ -89,9 +105,16 @@ class VgiwCore final : public CoreModel
     explicit VgiwCore(const VgiwConfig &cfg = {}) : cfg_(cfg) {}
 
     std::string name() const override { return "vgiw"; }
+    std::string compileKey() const override;
 
-    /** Replay @p traces and return timing/energy statistics. */
-    RunStats run(const TraceSet &traces) const override;
+    /** Build + place each block's DFG (Section 3.1's compiler step). */
+    std::shared_ptr<const CompiledKernel>
+    compile(const Kernel &kernel) const override;
+
+    /** Replay @p traces against a compile() artifact. */
+    RunStats run(const TraceSet &traces,
+                 const CompiledKernel &compiled) const override;
+    using CoreModel::run;
 
     /** Tile size for a kernel/launch pair (Section 3.2 formula). */
     int tileSizeFor(const Kernel &kernel, const LaunchParams &launch) const;

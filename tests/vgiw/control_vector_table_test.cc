@@ -106,5 +106,33 @@ TEST(Cvt, CountsWordAccesses)
     EXPECT_EQ(cvt.stats().wordReads, 4u);
 }
 
+TEST(Cvt, DrainIntoMatchesDrainAndReusesBuffer)
+{
+    // Two identically populated tables: the allocation-free drainInto
+    // must produce drain()'s exact thread list, reset the vector the
+    // same way, and count the same word reads — with a dirty, reused
+    // output buffer.
+    ControlVectorTable a(3, 192), b(3, 192);
+    for (auto *cvt : {&a, &b}) {
+        cvt->set(1, 0);
+        cvt->set(1, 63);
+        cvt->set(1, 64);
+        cvt->set(1, 191);
+        cvt->orBatch(2, ThreadBatch{64, 0b101});
+    }
+
+    std::vector<uint32_t> out{7, 7, 7};  // stale contents must vanish
+    b.drainInto(1, out);
+    EXPECT_EQ(out, a.drain(1));
+    EXPECT_EQ(b.pendingCount(1), 0u);
+    EXPECT_EQ(b.stats().wordReads, a.stats().wordReads);
+
+    b.drainInto(2, out);  // buffer reuse across blocks
+    EXPECT_EQ(out, a.drain(2));
+
+    b.drainInto(0, out);  // draining an empty vector yields empty
+    EXPECT_TRUE(out.empty());
+}
+
 } // namespace
 } // namespace vgiw
