@@ -19,6 +19,43 @@ unitKindName(UnitKind k)
     return "?";
 }
 
+std::string
+validateGridConfig(const GridConfig &g)
+{
+    if (g.width <= 0 || g.height <= 0) {
+        return "grid dimensions must be positive (got " +
+               std::to_string(g.width) + "x" + std::to_string(g.height) +
+               ")";
+    }
+    for (int kind = 0; kind < kNumUnitKinds; ++kind) {
+        if (g.counts[size_t(kind)] < 0) {
+            return std::string("negative unit count for kind '") +
+                   unitKindName(UnitKind(kind)) + "'";
+        }
+    }
+    if (totalUnits(g.counts) != g.numUnits()) {
+        return "unit counts sum to " +
+               std::to_string(totalUnits(g.counts)) +
+               " but the grid has " + std::to_string(g.numUnits()) +
+               " cells";
+    }
+    if (g.kindAt.size() != size_t(g.numUnits())) {
+        return "kindAt describes " + std::to_string(g.kindAt.size()) +
+               " cells, expected " + std::to_string(g.numUnits());
+    }
+    if (g.positions.size() != size_t(g.numUnits())) {
+        return "positions describes " +
+               std::to_string(g.positions.size()) + " cells, expected " +
+               std::to_string(g.numUnits());
+    }
+    UnitCounts tally{};
+    for (UnitKind k : g.kindAt)
+        ++countOf(tally, k);
+    if (tally != g.counts)
+        return "kindAt tally does not match the per-kind unit counts";
+    return {};
+}
+
 GridConfig
 GridConfig::makeTable1()
 {

@@ -79,6 +79,16 @@ struct GridConfig
 };
 
 /**
+ * Structural validity check: positive dimensions, non-negative per-kind
+ * counts that exactly fill the grid, and kindAt/positions tables sized
+ * (and tallying) to match. Returns an empty string when the grid is
+ * well-formed, otherwise a one-line diagnostic — config validation
+ * turns what would be a deep placer assertion into a fast, readable
+ * `config`-kind job failure.
+ */
+std::string validateGridConfig(const GridConfig &g);
+
+/**
  * Compact textual identity of a grid (shape + per-kind counts), used in
  * CoreModel::compileKey() fingerprints. Two grids with equal
  * fingerprints place identically.

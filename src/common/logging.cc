@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/sim_error.hh"
+
 namespace vgiw
 {
 namespace detail
@@ -12,6 +14,13 @@ namespace detail
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // Under a PanicCaptureScope (an experiment-engine worker) an
+    // invariant violation is a per-job failure, not a process abort:
+    // throw a catchable SimPanic carrying the same diagnostic.
+    if (PanicCaptureScope::active()) {
+        throw SimPanic(msg + " (" + file + ":" + std::to_string(line) +
+                       ")");
+    }
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }

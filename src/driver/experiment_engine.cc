@@ -1,10 +1,13 @@
 #include "driver/experiment_engine.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
 #include <thread>
+
+#include "common/watchdog.hh"
 
 namespace vgiw
 {
@@ -25,14 +28,20 @@ jsonEscape(const std::string &s)
           case '\n': out += "\\n"; break;
           case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
+          default: {
+            // Escape through the unsigned value: a plain (signed) char
+            // would sign-extend bytes >= 0x80 into \uffxx garbage.
+            // DEL (0x7f) and high bytes are escaped too, keeping the
+            // output pure printable ASCII.
+            const unsigned uc = static_cast<unsigned char>(c);
+            if (uc < 0x20 || uc >= 0x7f) {
                 char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                std::snprintf(buf, sizeof buf, "\\u%04x", uc);
                 out += buf;
             } else {
                 out += c;
             }
+          }
         }
     }
     return out;
@@ -77,13 +86,10 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
 
     auto work = [&]() {
         for (size_t i; (i = next.fetch_add(1)) < jobs.size();) {
-            results[i] = runJob(jobs[i]);
-            if (opts_.onResult || (opts_.onFailure && !results[i].ok())) {
+            results[i] = runJob(jobs[i], i);
+            if (opts_.onResult || opts_.onFailure || opts_.injector) {
                 std::lock_guard<std::mutex> lock(report_mu);
-                if (opts_.onResult)
-                    opts_.onResult(i, results[i]);
-                if (opts_.onFailure && !results[i].ok())
-                    opts_.onFailure(results[i]);
+                report(i, results[i]);
             }
         }
     };
@@ -100,51 +106,164 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
     return results;
 }
 
+void
+ExperimentEngine::report(size_t index, JobResult &result)
+{
+    // Called with the reporting mutex held. An exception out of a user
+    // callback would unwind through the worker jthread and terminate
+    // the whole process — demote it to an internal failure on the job.
+    try {
+        if (opts_.injector)
+            opts_.injector->fire(FaultInjector::Point::Callback, index);
+        if (opts_.onResult)
+            opts_.onResult(index, result);
+    } catch (const std::exception &e) {
+        result.error = std::string("onResult callback threw: ") + e.what();
+        result.errorKind = SimErrorKind::Internal;
+    } catch (...) {
+        result.error = "onResult callback threw a non-standard exception";
+        result.errorKind = SimErrorKind::Internal;
+    }
+
+    if (opts_.onFailure && !result.ok()) {
+        try {
+            opts_.onFailure(result);
+        } catch (const std::exception &e) {
+            result.error += "; onFailure callback threw: ";
+            result.error += e.what();
+            if (result.errorKind == SimErrorKind::None)
+                result.errorKind = SimErrorKind::Internal;
+        } catch (...) {
+            result.error += "; onFailure callback threw a non-standard "
+                            "exception";
+            if (result.errorKind == SimErrorKind::None)
+                result.errorKind = SimErrorKind::Internal;
+        }
+    }
+}
+
 JobResult
-ExperimentEngine::runJob(const ExperimentJob &job)
+ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
 {
     JobResult out;
     out.workload = job.workload;
     out.arch = job.arch;
     out.configLabel = job.configLabel;
 
-    auto model = makeCoreModel(job.arch, job.config);
-    if (!model) {
-        out.error = "unknown architecture '" + job.arch + "'";
-        return out;
-    }
-
-    std::function<WorkloadInstance()> make =
-        job.make ? job.make : registryMake(job.workload);
-    if (!make) {
-        out.error = "unknown workload '" + job.workload + "'";
-        return out;
-    }
-
-    TraceResult traced;
-    try {
-        traced = cache_.get(job.workload, make);
-    } catch (const std::exception &e) {
-        out.error = e.what();
-        return out;
-    }
-    out.goldenPassed = traced.goldenPassed;
-    if (!traced.ok()) {
-        out.error = traced.error.empty() ? "functional execution failed"
-                                         : traced.error;
-        return out;
-    }
+    // Any vgiw_panic raised on this thread while the job runs (replay
+    // invariant violations, injected faults) throws SimPanic instead of
+    // aborting the process.
+    PanicCaptureScope capture;
+    FaultInjector *inj = opts_.injector;
 
     try {
-        // Compile once per (architecture compile slice, kernel): sweep
-        // points that only vary replay-side knobs share the artifact.
-        auto compiled = ccache_.get(
-            *model, TraceCache::keyFor(job.workload, traced.traces->launch),
-            traced.traces);
-        out.stats = model->run(*traced.traces, *compiled);
-        out.ran = true;
+        // Validate before building any simulation state: a malformed
+        // sweep point fails fast as a config error without consuming a
+        // functional execution.
+        if (std::string msg = job.config.validate(job.arch); !msg.empty()) {
+            out.error = msg;
+            out.errorKind = SimErrorKind::Config;
+            return out;
+        }
+
+        // Per-job config copy: the wall-clock deadline (if any) is
+        // anchored at job entry, so time spent tracing, compiling or
+        // stalled counts against it — not just the replay loop.
+        SystemConfig cfg = job.config;
+        cfg.anchorWatchdogs(std::chrono::steady_clock::now());
+
+        auto model = makeCoreModel(job.arch, cfg);
+        if (!model) {
+            out.error = "unknown architecture '" + job.arch + "'";
+            out.errorKind = SimErrorKind::Config;
+            return out;
+        }
+
+        std::function<WorkloadInstance()> make =
+            job.make ? job.make : registryMake(job.workload);
+        if (!make) {
+            out.error = "unknown workload '" + job.workload + "'";
+            out.errorKind = SimErrorKind::Config;
+            return out;
+        }
+
+        TraceResult traced;
+        try {
+            if (inj)
+                inj->fire(FaultInjector::Point::Trace, index);
+            traced = cache_.get(job.workload, make);
+        } catch (const SimError &e) {
+            out.error = e.what();
+            out.errorKind = e.kind();
+            return out;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+            out.errorKind = SimErrorKind::Functional;
+            return out;
+        }
+        out.goldenPassed = traced.goldenPassed;
+        if (!traced.ok()) {
+            out.error = traced.error.empty() ? "functional execution failed"
+                                             : traced.error;
+            out.errorKind = traced.errorKind != SimErrorKind::None
+                                ? traced.errorKind
+                                : SimErrorKind::Functional;
+            return out;
+        }
+
+        std::shared_ptr<const CompiledKernel> compiled;
+        try {
+            // Compile once per (architecture compile slice, kernel):
+            // sweep points that only vary replay-side knobs share the
+            // artifact.
+            if (inj)
+                inj->fire(FaultInjector::Point::Compile, index);
+            compiled = ccache_.get(
+                *model,
+                TraceCache::keyFor(job.workload, traced.traces->launch),
+                traced.traces);
+        } catch (const SimError &e) {
+            out.error = e.what();
+            out.errorKind = e.kind();
+            return out;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+            out.errorKind = SimErrorKind::Compile;
+            return out;
+        }
+
+        try {
+            if (inj)
+                inj->fire(FaultInjector::Point::Replay, index);
+            out.stats = model->run(*traced.traces, *compiled);
+            out.ran = true;
+        } catch (const WatchdogError &e) {
+            out.error = e.what();
+            out.errorKind = SimErrorKind::Watchdog;
+            out.partial.valid = true;
+            out.partial.cycles = e.cycles;
+            out.partial.dynBlockExecs = e.dynBlockExecs;
+            out.partial.dynThreadOps = e.dynThreadOps;
+        } catch (const SimError &e) {
+            // Covers SimPanic (an invariant violation caught by the
+            // capture scope) and any typed replay failure.
+            out.error = e.what();
+            out.errorKind = e.kind();
+        } catch (const std::exception &e) {
+            out.error = e.what();
+            out.errorKind = SimErrorKind::Internal;
+        }
+    } catch (const SimError &e) {
+        // Safety net: nothing past the stage handlers should throw,
+        // but a fault here must still land in the result slot.
+        out.error = e.what();
+        out.errorKind = e.kind();
     } catch (const std::exception &e) {
         out.error = e.what();
+        out.errorKind = SimErrorKind::Internal;
+    } catch (...) {
+        out.error = "unknown non-standard exception";
+        out.errorKind = SimErrorKind::Internal;
     }
     return out;
 }
@@ -211,6 +330,14 @@ ExperimentEngine::toJsonLine(const JobResult &r)
        << ",\"ok\":" << (r.ok() ? "true" : "false");
     if (!r.error.empty())
         os << ",\"error\":\"" << jsonEscape(r.error) << "\"";
+    // Failure-only fields: healthy lines stay byte-identical to what
+    // the engine emitted before the taxonomy existed.
+    if (r.errorKind != SimErrorKind::None)
+        os << ",\"error_kind\":\"" << simErrorKindName(r.errorKind) << "\"";
+    if (r.partial.valid)
+        os << ",\"partial_cycles\":" << r.partial.cycles
+           << ",\"partial_block_execs\":" << r.partial.dynBlockExecs
+           << ",\"partial_thread_ops\":" << r.partial.dynThreadOps;
     if (r.ran) {
         const RunStats &s = r.stats;
         os << ",\"supported\":" << (s.supported ? "true" : "false")

@@ -17,10 +17,15 @@
  * replayed statistics are bit-identical to a serial run (replay has no
  * cross-job state).
  *
- * Failure isolation: a golden-check failure or a thrown model error is
- * recorded in that job's result (and reported through the failure
- * callback) and the sweep keeps going — one broken workload no longer
- * aborts a whole evaluation.
+ * Failure isolation: every way a job can fail — malformed config,
+ * uncompilable kernel, functional/golden failure, watchdog trip, even
+ * an invariant violation (vgiw_panic) inside replay — is recorded in
+ * that job's result as a typed SimErrorKind (and reported through the
+ * failure callback) and the sweep keeps going. Each job runs under a
+ * PanicCaptureScope, its config is validated before any simulation
+ * state is built, and user callbacks are guarded so a throwing
+ * observer cannot terminate a worker thread. One broken sweep point
+ * never aborts the process.
  */
 
 #ifndef VGIW_DRIVER_EXPERIMENT_ENGINE_HH
@@ -30,7 +35,9 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_error.hh"
 #include "driver/compile_cache.hh"
+#include "driver/fault_injector.hh"
 #include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "driver/runner.hh"
@@ -66,9 +73,22 @@ struct JobResult
     bool goldenPassed = false;
     /** Golden-check, lookup or model diagnostic; empty on success. */
     std::string error;
+    /** Taxonomy classification of `error`; None on success. */
+    SimErrorKind errorKind = SimErrorKind::None;
     /** Stats are valid: the core model actually replayed the traces. */
     bool ran = false;
     RunStats stats;
+
+    /** Progress counters at the moment a watchdog aborted the replay
+     * (valid only for errorKind == Watchdog). */
+    struct PartialProgress
+    {
+        bool valid = false;
+        uint64_t cycles = 0;
+        uint64_t dynBlockExecs = 0;
+        uint64_t dynThreadOps = 0;
+    };
+    PartialProgress partial;
 
     bool ok() const { return ran && error.empty(); }
 };
@@ -93,6 +113,18 @@ struct EngineOptions
      * workload/arch, model exception) — the job is skipped, not fatal.
      */
     std::function<void(const JobResult &)> onFailure;
+
+    /**
+     * Both callbacks are guarded: an exception thrown by either marks
+     * the job as an `internal` failure instead of terminating the
+     * worker jthread (an unguarded throw would std::terminate the
+     * process — exactly the failure mode this engine exists to avoid).
+     *
+     * Optional fault-injection harness (tests only); not owned. When
+     * set, the engine fires the trace/compile/replay/callback points
+     * as each job passes through them.
+     */
+    FaultInjector *injector = nullptr;
 };
 
 /** Parallel (workload × config × architecture) sweep executor. */
@@ -135,7 +167,10 @@ class ExperimentEngine
     static std::string toJsonLine(const JobResult &result);
 
   private:
-    JobResult runJob(const ExperimentJob &job);
+    JobResult runJob(const ExperimentJob &job, size_t index);
+    /** Serialised onResult/onFailure dispatch with the callback guard
+     * (and the callback injection point) applied. */
+    void report(size_t index, JobResult &result);
 
     EngineOptions opts_;
     TraceCache cache_;

@@ -1,0 +1,98 @@
+#include "driver/fault_injector.hh"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/sim_error.hh"
+
+namespace vgiw
+{
+
+const char *
+FaultInjector::pointName(Point p)
+{
+    switch (p) {
+      case Point::Trace: return "trace";
+      case Point::Compile: return "compile";
+      case Point::Replay: return "replay";
+      case Point::Callback: return "callback";
+    }
+    return "?";
+}
+
+void
+FaultInjector::armThrow(Point p, size_t job_index, std::string message)
+{
+    arm(p, job_index, [message = std::move(message)]() {
+        throw std::runtime_error(message);
+    });
+}
+
+void
+FaultInjector::armPanic(Point p, size_t job_index, std::string message)
+{
+    arm(p, job_index,
+        [message = std::move(message)]() { vgiw_panic(message); });
+}
+
+void
+FaultInjector::armStall(Point p, size_t job_index, int millis)
+{
+    arm(p, job_index, [millis]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+    });
+}
+
+void
+FaultInjector::armCorrupt(Point p, size_t job_index)
+{
+    const std::string what = std::string("injected corruption at ") +
+                             pointName(p) + " point";
+    switch (p) {
+      case Point::Trace:
+        arm(p, job_index, [what]() {
+            throw SimError(SimErrorKind::Functional, what);
+        });
+        break;
+      case Point::Compile:
+        arm(p, job_index, [what]() {
+            throw SimError(SimErrorKind::Compile, what);
+        });
+        break;
+      case Point::Replay:
+        // Corrupted replay state surfaces as an invariant violation.
+        arm(p, job_index, [what]() { vgiw_panic(what); });
+        break;
+      case Point::Callback:
+        arm(p, job_index,
+            [what]() { throw std::runtime_error(what); });
+        break;
+    }
+}
+
+void
+FaultInjector::arm(Point p, size_t job_index, std::function<void()> fault)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_[Key(uint8_t(p), job_index)] = std::move(fault);
+}
+
+void
+FaultInjector::fire(Point p, size_t job_index)
+{
+    std::function<void()> fault;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = armed_.find(Key(uint8_t(p), job_index));
+        if (it == armed_.end())
+            return;
+        fault = std::move(it->second);
+        armed_.erase(it);  // fire at most once
+    }
+    fired_.fetch_add(1);
+    fault();  // outside the lock: the fault may stall or rethrow
+}
+
+} // namespace vgiw

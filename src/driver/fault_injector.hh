@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A fault-injection harness for the experiment engine.
+ *
+ * The fault-tolerance layer's promise — every failure lands in one
+ * JobResult and the sweep completes — is only as good as its test
+ * coverage, and most failure paths (a panic mid-replay, a stall long
+ * enough to trip the deadline, a corrupted trace) never occur in a
+ * healthy build. The injector makes them occur on demand: tests arm
+ * named injection points with fail-at-job-N rules and the engine fires
+ * each point as the job passes through the matching stage.
+ *
+ * Points mirror the engine's job pipeline:
+ *
+ *   trace    — before the TraceCache functional execution
+ *   compile  — before the CompileCache place-and-route
+ *   replay   — before CoreModel::run (after a compiled artifact exists)
+ *   callback — inside the serialised onResult/onFailure region, as if
+ *              the user's callback itself threw
+ *
+ * Canned actions: Throw (an untyped std::runtime_error, exercising the
+ * unclassified-exception paths), Panic (a real vgiw_panic, exercising
+ * panic capture), Stall (a finite sleep, tripping wall-clock
+ * deadlines), Corrupt (a stage-appropriate typed failure). Arbitrary
+ * faults can be armed as callables.
+ *
+ * Thread-safety: arming and firing may interleave across worker
+ * threads; rules fire at most once.
+ */
+
+#ifndef VGIW_DRIVER_FAULT_INJECTOR_HH
+#define VGIW_DRIVER_FAULT_INJECTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace vgiw
+{
+
+/** Test hook: armed faults the engine detonates at named points. */
+class FaultInjector
+{
+  public:
+    /** Stages of the engine's per-job pipeline. */
+    enum class Point : uint8_t { Trace, Compile, Replay, Callback };
+
+    static const char *pointName(Point p);
+
+    /** Throw a plain std::runtime_error(@p message) at (@p p, job
+     * @p job_index) — an unclassified failure. */
+    void armThrow(Point p, size_t job_index, std::string message);
+
+    /** vgiw_panic(@p message) at the point — an invariant violation,
+     * captured by the engine's PanicCaptureScope. */
+    void armPanic(Point p, size_t job_index, std::string message);
+
+    /** Sleep @p millis (finite — the fault is the time, not a hang) at
+     * the point, to push a job past its wall-clock deadline. */
+    void armStall(Point p, size_t job_index, int millis);
+
+    /** A stage-appropriate typed corruption: functional-kind at trace,
+     * compile-kind at compile, a panic at replay, a throw at callback. */
+    void armCorrupt(Point p, size_t job_index);
+
+    /** Arm an arbitrary fault; @p fault may throw, panic or sleep. */
+    void arm(Point p, size_t job_index, std::function<void()> fault);
+
+    /**
+     * Engine hook: detonate the fault armed at (@p p, @p job_index), if
+     * any. Each rule fires at most once. May throw whatever the fault
+     * throws.
+     */
+    void fire(Point p, size_t job_index);
+
+    /** Number of faults detonated so far. */
+    uint64_t fired() const { return fired_.load(); }
+
+  private:
+    using Key = std::pair<uint8_t, size_t>;  // (point, job index)
+
+    std::mutex mu_;
+    std::map<Key, std::function<void()>> armed_;
+    std::atomic<uint64_t> fired_{0};
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_FAULT_INJECTOR_HH

@@ -16,6 +16,8 @@ Runner::trace(const WorkloadInstance &w) const
 
     if (w.check) {
         out.goldenPassed = w.check(mem, out.error);
+        if (!out.goldenPassed)
+            out.errorKind = SimErrorKind::Golden;
     } else {
         out.goldenPassed = true;
     }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "common/sim_error.hh"
 #include "driver/run_stats.hh"
 #include "driver/system_config.hh"
 #include "interp/trace.hh"
@@ -38,6 +39,9 @@ struct TraceResult
     std::shared_ptr<const TraceSet> traces;
     bool goldenPassed = false;
     std::string error;  ///< golden-check diagnostic when !goldenPassed
+    /** Classification of the failure: Golden for a reference mismatch,
+     * Functional when the execution itself failed; None on success. */
+    SimErrorKind errorKind = SimErrorKind::None;
 
     /** Traces exist and the golden reference matched. */
     bool ok() const { return goldenPassed && traces != nullptr; }

@@ -7,6 +7,51 @@
 namespace vgiw
 {
 
+std::string
+SystemConfig::validate() const
+{
+    return validate("all");
+}
+
+std::string
+SystemConfig::validate(std::string_view arch) const
+{
+    if (coreGhz <= 0 || interconnectGhz <= 0 || l2Ghz <= 0 ||
+        dramGhz <= 0) {
+        return "clock domain frequencies must be positive";
+    }
+    const bool all = arch != "vgiw" && arch != "fermi" && arch != "sgmf";
+    if (all || arch == "vgiw") {
+        if (std::string d = vgiw.validate(); !d.empty())
+            return d;
+    }
+    if (all || arch == "fermi") {
+        if (std::string d = fermi.validate(); !d.empty())
+            return d;
+    }
+    if (all || arch == "sgmf") {
+        if (std::string d = sgmf.validate(); !d.empty())
+            return d;
+    }
+    return {};
+}
+
+void
+SystemConfig::setWatchdog(const WatchdogConfig &wd)
+{
+    vgiw.watchdog = wd;
+    fermi.watchdog = wd;
+    sgmf.watchdog = wd;
+}
+
+void
+SystemConfig::anchorWatchdogs(std::chrono::steady_clock::time_point t)
+{
+    vgiw.watchdog.anchor = t;
+    fermi.watchdog.anchor = t;
+    sgmf.watchdog.anchor = t;
+}
+
 void
 SystemConfig::printTable1(std::ostream &os) const
 {

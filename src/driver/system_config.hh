@@ -8,8 +8,12 @@
 #ifndef VGIW_DRIVER_SYSTEM_CONFIG_HH
 #define VGIW_DRIVER_SYSTEM_CONFIG_HH
 
+#include <chrono>
 #include <iosfwd>
+#include <string>
+#include <string_view>
 
+#include "common/watchdog.hh"
 #include "sgmf/sgmf_core.hh"
 #include "simt/fermi_core.hh"
 #include "vgiw/vgiw_core.hh"
@@ -28,6 +32,32 @@ struct SystemConfig
     VgiwConfig vgiw{};
     FermiConfig fermi{};
     SgmfConfig sgmf{};
+
+    /**
+     * Well-formedness check of the clock domains plus every core
+     * configuration. Returns an empty string when valid, otherwise the
+     * first diagnostic found.
+     */
+    std::string validate() const;
+
+    /**
+     * Validation scoped to one job: the clock domains plus only the
+     * named architecture's core config — a sweep varying VGIW knobs
+     * must not fail its Fermi baseline jobs over a VGIW diagnostic.
+     * Unknown names (caught separately as a config error) and "all"
+     * validate every core.
+     */
+    std::string validate(std::string_view arch) const;
+
+    /** Apply the same replay ceilings to all three core models. */
+    void setWatchdog(const WatchdogConfig &wd);
+
+    /**
+     * Re-anchor every core's wall-clock deadline at @p t. The
+     * experiment engine calls this with the job-entry time so tracing,
+     * compilation and replay share one per-job budget.
+     */
+    void anchorWatchdogs(std::chrono::steady_clock::time_point t);
 
     /** Print the Table 1 configuration summary. */
     void printTable1(std::ostream &os) const;

@@ -48,9 +48,14 @@ TraceCache::get(const std::string &name,
         execs_.fetch_add(1);
         try {
             entry->result = Runner{}.trace(entry->workload);
+        } catch (const SimError &e) {
+            entry->result = TraceResult{};
+            entry->result.error = e.what();
+            entry->result.errorKind = e.kind();
         } catch (const std::exception &e) {
             entry->result = TraceResult{};
             entry->result.error = e.what();
+            entry->result.errorKind = SimErrorKind::Functional;
         }
         promise.set_value(entry);
         return resultFor(entry);
@@ -70,6 +75,7 @@ TraceCache::resultFor(const std::shared_ptr<const Entry> &entry) const
     TraceResult out;
     out.goldenPassed = entry->result.goldenPassed;
     out.error = entry->result.error;
+    out.errorKind = entry->result.errorKind;
     if (entry->result.traces) {
         // Aliasing constructor: the handed-out pointer keeps the whole
         // entry (traces *and* the kernel they borrow) alive.

@@ -1,6 +1,7 @@
 #include "sgmf/sgmf_core.hh"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "cgrf/config_cost.hh"
@@ -41,6 +42,19 @@ kernelCriticalPath(const Kernel &k, const std::vector<PlacedBlock> &placed)
 }
 
 } // namespace
+
+std::string
+SgmfConfig::validate() const
+{
+    if (std::string d = validateGridConfig(grid); !d.empty())
+        return "sgmf: " + d;
+    if (missWindow == 0)
+        return "sgmf: missWindow must be positive (latency hiding "
+               "divides by it)";
+    if (maxReplicas < 1)
+        return "sgmf: maxReplicas must be at least 1";
+    return {};
+}
 
 bool
 SgmfCore::supports(const Kernel &kernel) const
@@ -136,7 +150,18 @@ SgmfCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     uint64_t miss_latency = 0;
     uint64_t shared_accesses = 0;
 
+    // Livelock containment: the injection loop is not cycle-stepped,
+    // so the cycle ceiling is checked against the issue-cycle proxy
+    // (injections per replica), polled once per thread epoch.
+    std::optional<Watchdog> wd;
+    if (cfg_.watchdog.enabled())
+        wd.emplace(cfg_.watchdog, "sgmf replay of '" + k.name + "'");
+
     for (const auto &tr : traces.threads) {
+        if (wd) {
+            wd->poll(injections / uint64_t(replicas), rs.dynBlockExecs,
+                     rs.dynThreadOps);
+        }
         // One injection to enter the graph, plus one per back-edge
         // traversal (token recirculation for loop iterations).
         injections += 1;

@@ -31,6 +31,7 @@
 #include "cgrf/dataflow_graph.hh"
 #include "cgrf/grid.hh"
 #include "cgrf/placer.hh"
+#include "common/watchdog.hh"
 #include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
@@ -48,6 +49,17 @@ struct SgmfConfig
     /** Outstanding-miss window (same reservation buffers as VGIW). */
     uint32_t missWindow = 512;
     int maxReplicas = 8;
+
+    /**
+     * Replay ceilings. SGMF's injection loop is not cycle-stepped, so
+     * maxReplayCycles is checked against the issue-cycle proxy
+     * (injections / replicas).
+     */
+    WatchdogConfig watchdog{};
+
+    /** Well-formedness check, run at job entry by the experiment
+     * engine. Empty string when valid. */
+    std::string validate() const;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/logging.hh"
@@ -35,6 +36,23 @@ struct Warp
 };
 
 } // namespace
+
+std::string
+FermiConfig::validate() const
+{
+    if (warpSize < 1 || warpSize > 32) {
+        return "fermi: warpSize (" + std::to_string(warpSize) +
+               ") must be in [1, 32] (lane state is 32 wide)";
+    }
+    if (maxResidentWarps < 1)
+        return "fermi: maxResidentWarps must be at least 1";
+    if (maxResidentCtas < 1)
+        return "fermi: maxResidentCtas must be at least 1";
+    if (scuIssueCycles < 1)
+        return "fermi: scuIssueCycles must be at least 1 (a zero-cost "
+               "issue stalls the clock)";
+    return {};
+}
 
 std::string
 FermiCore::compileKey() const
@@ -178,7 +196,15 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
         }
     };
 
+    // Livelock containment: polled once per scheduler iteration (every
+    // issue, terminator or idle-advance — the loop's unit of work).
+    std::optional<Watchdog> wd;
+    if (cfg_.watchdog.enabled())
+        wd.emplace(cfg_.watchdog, "fermi replay of '" + k.name + "'");
+
     while (!alive.empty()) {
+        if (wd)
+            wd->poll(clock, rs.dynBlockExecs, rs.dynThreadOps);
         // Pick the next ready, resident warp: the first candidate in
         // circular warp-ID order starting at rr — the same round-robin
         // greedy policy as scanning every warp. Residency is a prefix of

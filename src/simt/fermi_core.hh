@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/watchdog.hh"
 #include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
@@ -50,6 +51,17 @@ struct FermiConfig
     uint32_t aluDependencyLatency = 20;
     uint32_t sharedLatency = 24;
     EnergyTable energy{};
+
+    /** Replay ceilings (cycle budget / wall-clock deadline). */
+    WatchdogConfig watchdog{};
+
+    /**
+     * Well-formedness check, run at job entry by the experiment engine.
+     * The warp state arrays are 32 wide and scheduling divides by the
+     * residency limits, so out-of-range values must fail fast as a
+     * `config`-kind error. Empty string when valid.
+     */
+    std::string validate() const;
 };
 
 /** One pre-decoded warp instruction (the SM frontend's work, done once

@@ -1,12 +1,14 @@
 #include "vgiw/vgiw_core.hh"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "cgrf/config_cost.hh"
 #include "cgrf/placer.hh"
 #include "common/logging.hh"
 #include "common/scratch_set.hh"
+#include "common/sim_error.hh"
 #include "ir/op_counts.hh"
 #include "mem/bank_merge.hh"
 #include "mem/memory_system.hh"
@@ -53,6 +55,31 @@ liveInIds(const BasicBlock &blk, int num_live_values)
 } // namespace
 
 std::string
+VgiwConfig::validate() const
+{
+    if (std::string d = validateGridConfig(grid); !d.empty())
+        return "vgiw: " + d;
+    if (cvtCapacityBits == 0)
+        return "vgiw: cvtCapacityBits must be positive (the CVT tile "
+               "formula divides by it)";
+    if (cvtBanks <= 0)
+        return "vgiw: cvtBanks must be positive";
+    if (maxReplicas < 1)
+        return "vgiw: maxReplicas must be at least 1";
+    if (missWindow == 0)
+        return "vgiw: missWindow must be positive (latency hiding "
+               "divides by it)";
+    const CacheGeometry lvc = lvcGeometry(lvcBytes);
+    const uint32_t lvc_min = lvc.lineBytes * lvc.ways;
+    if (lvcBytes < lvc_min || lvcBytes % lvc_min != 0) {
+        return "vgiw: lvcBytes (" + std::to_string(lvcBytes) +
+               ") must be a positive multiple of lineBytes*ways (" +
+               std::to_string(lvc_min) + ")";
+    }
+    return {};
+}
+
+std::string
 VgiwCore::compileKey() const
 {
     // Everything compile() reads: grid shape/counts (placement), unit
@@ -77,8 +104,12 @@ VgiwCore::compile(const Kernel &k) const
         ck->placed.push_back(placer.place(
             dfg, cfg_.enableReplication ? cfg_.maxReplicas : 1));
         if (!ck->placed.back().fits) {
-            vgiw_fatal("kernel '", k.name, "' block '", blk.name,
-                       "' does not fit the MT-CGRF grid");
+            // A compile-kind SimError, not vgiw_fatal: one oversized
+            // kernel in a tile-size sweep is a per-job failure the
+            // engine records and skips, never a sweep abort.
+            throw SimError(SimErrorKind::Compile,
+                           "kernel '" + k.name + "' block '" + blk.name +
+                               "' does not fit the MT-CGRF grid");
         }
         ck->ops.push_back(staticOpCounts(blk));
         ck->liveIns.push_back(liveInIds(blk, k.numLiveValues));
@@ -143,6 +174,13 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     // Lines already serviced for this vector when the (future-work)
     // coalescer is enabled; key = line*2 + isStore.
     ScratchSet coalesced;
+
+    // Livelock containment: a ceiling on model cycles and/or wall
+    // clock, polled once per scheduled block vector (the BBS loop's
+    // unit of forward progress).
+    std::optional<Watchdog> wd;
+    if (cfg_.watchdog.enabled())
+        wd.emplace(cfg_.watchdog, "vgiw replay of '" + k.name + "'");
 
     const int tile = tileSizeFor(k, launch);
     uint64_t compute_cycles = 0;
@@ -310,6 +348,11 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
                                pb.edgeHopsPerThread * e.tokenHop));
             rs.dynBlockExecs += v;
             rs.dynThreadOps += v * oc.total();
+
+            if (wd) {
+                wd->poll(compute_cycles + rs.configCycles,
+                         rs.dynBlockExecs, rs.dynThreadOps);
+            }
         }
 
         rs.energy.add(EnergyComponent::Cvt,

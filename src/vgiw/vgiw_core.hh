@@ -30,6 +30,7 @@
 #include "cgrf/dataflow_graph.hh"
 #include "cgrf/grid.hh"
 #include "cgrf/placer.hh"
+#include "common/watchdog.hh"
 #include "driver/core_model.hh"
 #include "driver/run_stats.hh"
 #include "interp/trace.hh"
@@ -75,6 +76,19 @@ struct VgiwConfig
     /** LVC capacity; sweepable for the design-space ablation. */
     uint32_t lvcBytes = 64 * 1024;
     uint32_t lvcHitLatency = 6;
+
+    /** Replay ceilings (cycle budget / wall-clock deadline). */
+    WatchdogConfig watchdog{};
+
+    /**
+     * Well-formedness check, run at job entry by the experiment engine
+     * so a malformed sweep point fails fast as a `config`-kind error
+     * instead of detonating as a deep assertion (zero CVT capacity
+     * divides by zero in tiling, a degenerate grid breaks the placer,
+     * an undersized LVC breaks the cache geometry). Returns an empty
+     * string when valid, otherwise a one-line diagnostic.
+     */
+    std::string validate() const;
 
     /**
      * Observer invoked whenever the BBS schedules a block vector, with

@@ -1,0 +1,24 @@
+# Test driver: run a command and require an exact exit code.
+#
+#   cmake -DBIN=<exe> -DARGS="--flag value ..." -DEXPECTED=<n>
+#         -P check_exit_code.cmake
+#
+# ctest's WILL_FAIL only distinguishes zero from nonzero; vgiw_run
+# documents a three-way contract (0 ok / 2 usage / 3 job failures), so
+# the tests pin the exact value.
+
+if (NOT DEFINED BIN OR NOT DEFINED EXPECTED)
+    message(FATAL_ERROR "BIN and EXPECTED must be defined")
+endif ()
+
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${BIN} ${arg_list}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+
+if (NOT rc EQUAL ${EXPECTED})
+    message(FATAL_ERROR
+            "${BIN} ${ARGS}\nexpected exit ${EXPECTED}, got '${rc}'\n"
+            "stdout:\n${out}\nstderr:\n${err}")
+endif ()

@@ -7,15 +7,24 @@
  *            [--lvc-bytes N] [--cvt-bits N] [--no-replication]
  *            [--coalescing] [--dump-ir] [--verbose]
  *            [--jobs N] [--json <file>]
+ *            [--max-replay-cycles N] [--deadline-ms N]
  *   vgiw_run --suite [--arch ...] [--jobs N] [--json <file>]
+ *            [--max-replay-cycles N] [--deadline-ms N]
  *
  * Single-workload mode runs one Table 2 workload (functional execution
  * + golden check, then the requested core models) and prints a RunStats
  * report. --suite sweeps the whole registry through the parallel
  * experiment engine; --jobs bounds the worker pool and --json emits one
  * JSON-lines object per (workload, arch) result alongside the ASCII
- * report. This is the tool a user reaches for before scripting against
- * the library API.
+ * report. --max-replay-cycles and --deadline-ms arm the per-job
+ * watchdogs: a job that exceeds either budget is aborted and recorded
+ * as a watchdog failure instead of hanging the sweep. This is the tool
+ * a user reaches for before scripting against the library API.
+ *
+ * Exit codes: 0 every job succeeded; 2 usage or configuration error
+ * (nothing ran); 3 the sweep completed but some jobs failed (golden
+ * mismatch, compile error, watchdog, panic); 1 results could not be
+ * written to the --json path.
  */
 
 #include <algorithm>
@@ -27,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_error.hh"
+#include "common/watchdog.hh"
 #include "driver/experiment_engine.hh"
 #include "ir/printer.hh"
 #include "workloads/workload.hh"
@@ -53,13 +64,24 @@ usage()
         "per result (JSON lines)\n"
         "  --lvc-bytes <n>                LVC capacity (default 65536)\n"
         "  --cvt-bits <n>                 CVT capacity (default 65536)\n"
+        "  --max-replay-cycles <n>        abort a job whose replay "
+        "exceeds n simulated cycles\n"
+        "  --deadline-ms <n>              abort a job running longer "
+        "than n wall-clock ms\n"
         "  --no-replication               disable block replication\n"
         "  --coalescing                   enable the future-work "
         "inter-thread coalescer\n"
         "  --dump-ir                      print the kernel IR before "
         "running\n"
         "  --verbose                      per-component energy "
-        "breakdown\n");
+        "breakdown\n"
+        "\n"
+        "exit codes:\n"
+        "  0  every requested job succeeded\n"
+        "  2  usage or configuration error (nothing ran)\n"
+        "  3  run completed but some jobs failed (golden mismatch,\n"
+        "     compile error, watchdog trip, internal error)\n"
+        "  1  results could not be written to the --json path\n");
 }
 
 void
@@ -148,6 +170,7 @@ main(int argc, char **argv)
 {
     std::string workload, arch = "all", json_path;
     VgiwConfig vcfg;
+    WatchdogConfig wd;
     bool suite = false, dump_ir = false, verbose = false;
     unsigned jobs = 0;
 
@@ -178,6 +201,10 @@ main(int argc, char **argv)
             vcfg.lvcBytes = uint32_t(parseCount(a, next()));
         } else if (a == "--cvt-bits") {
             vcfg.cvtCapacityBits = uint32_t(parseCount(a, next()));
+        } else if (a == "--max-replay-cycles") {
+            wd.maxReplayCycles = parseCount(a, next());
+        } else if (a == "--deadline-ms") {
+            wd.deadlineMs = double(parseCount(a, next()));
         } else if (a == "--no-replication") {
             vcfg.enableReplication = false;
         } else if (a == "--coalescing") {
@@ -215,6 +242,13 @@ main(int argc, char **argv)
 
     SystemConfig cfg;
     cfg.vgiw = vcfg;
+    cfg.setWatchdog(wd);
+    // A malformed configuration is a usage error: report it before any
+    // job consumes a functional execution.
+    if (std::string msg = cfg.validate(arch); !msg.empty()) {
+        std::fprintf(stderr, "invalid configuration: %s\n", msg.c_str());
+        return 2;
+    }
     std::vector<std::string> archs;
     if (arch == "all")
         archs = knownArchitectures();
@@ -261,7 +295,7 @@ main(int argc, char **argv)
                         engine.traceCache().functionalExecutions());
         if (!json_path.empty() && !writeJson(json_path, results))
             return 1;
-        return failures ? 1 : 0;
+        return failures ? 3 : 0;
     }
 
     const auto &registry = workloadRegistry();
@@ -290,20 +324,35 @@ main(int argc, char **argv)
                     ? "PASSED"
                     : ("FAILED: " + traced.error).c_str());
     if (!traced.goldenPassed)
-        return 1;
+        return 3;
 
+    int failures = 0;
     std::vector<JobResult> results;
     for (const auto &m : makeCoreModels(cfg, arch)) {
         JobResult r;
         r.workload = w.fullName();
         r.arch = m->name();
         r.goldenPassed = true;
-        r.stats = m->run(*traced.traces);
-        r.ran = true;
-        printStats(r.stats, verbose);
+        try {
+            r.stats = m->run(*traced.traces);
+            r.ran = true;
+            printStats(r.stats, verbose);
+        } catch (const WatchdogError &e) {
+            r.error = e.what();
+            r.errorKind = SimErrorKind::Watchdog;
+            r.partial = {true, e.cycles, e.dynBlockExecs, e.dynThreadOps};
+            ++failures;
+            std::printf("%-6s: WATCHDOG: %s\n", r.arch.c_str(), e.what());
+        } catch (const SimError &e) {
+            r.error = e.what();
+            r.errorKind = e.kind();
+            ++failures;
+            std::printf("%-6s: FAILED (%s): %s\n", r.arch.c_str(),
+                        simErrorKindName(e.kind()), e.what());
+        }
         results.push_back(std::move(r));
     }
     if (!json_path.empty() && !writeJson(json_path, results))
         return 1;
-    return 0;
+    return failures ? 3 : 0;
 }
