@@ -1,0 +1,119 @@
+#include "common/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace vgiw
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what + ": " + std::strerror(errno);
+}
+
+/** Directory component of @p path ("." when there is none). */
+std::string
+dirOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+/** fsync the directory holding @p path so a rename in it is durable. */
+bool
+syncDir(const std::string &path, std::string *error)
+{
+    const std::string dir = dirOf(path);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        setError(error, "open directory '" + dir + "'");
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    if (!ok)
+        setError(error, "fsync directory '" + dir + "'");
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents,
+                std::string *error)
+{
+    // Same-directory temporary (rename must not cross filesystems);
+    // the pid suffix keeps concurrent writers from clobbering each
+    // other's in-flight temp.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(long(::getpid()));
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        setError(error, "open '" + tmp + "'");
+        return false;
+    }
+
+    const char *p = contents.data();
+    size_t left = contents.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "write '" + tmp + "'");
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        p += n;
+        left -= size_t(n);
+    }
+
+    if (::fsync(fd) != 0) {
+        setError(error, "fsync '" + tmp + "'");
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setError(error, "close '" + tmp + "'");
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "rename '" + tmp + "' -> '" + path + "'");
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return syncDir(path, error);
+}
+
+bool
+rotateFile(const std::string &path, const std::string &suffix,
+           std::string *error)
+{
+    if (::access(path.c_str(), F_OK) != 0)
+        return true;  // nothing to rotate
+    const std::string aside = path + suffix;
+    if (::rename(path.c_str(), aside.c_str()) != 0) {
+        setError(error, "rename '" + path + "' -> '" + aside + "'");
+        return false;
+    }
+    return syncDir(path, error);
+}
+
+} // namespace vgiw

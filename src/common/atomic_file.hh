@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Crash-safe file replacement.
+ *
+ * The sweep's on-disk artifacts — the --json results file and the
+ * result journal — must never be observable half-written: a process
+ * killed mid-write would otherwise leave a truncated file that parses
+ * as a shorter-but-valid result set, which is worse than no file at
+ * all. The helpers here follow the classic write-temp / fsync /
+ * rename / fsync-directory protocol: readers see either the old
+ * content or the complete new content, never a prefix.
+ */
+
+#ifndef VGIW_COMMON_ATOMIC_FILE_HH
+#define VGIW_COMMON_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace vgiw
+{
+
+/**
+ * Durably replace @p path with @p contents: write to a temporary in
+ * the same directory, fsync it, rename() over @p path, then fsync the
+ * directory so the rename itself survives a crash. Returns false (and
+ * fills @p error, if given) on any I/O failure; a failed write never
+ * disturbs an existing @p path.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &contents,
+                     std::string *error = nullptr);
+
+/**
+ * Rotate @p path aside to @p path + @p suffix (replacing any previous
+ * rotation), durably: the rename is followed by a directory fsync. A
+ * missing @p path succeeds as a no-op. Used to retire a superseded
+ * result journal instead of silently destroying it.
+ */
+bool rotateFile(const std::string &path, const std::string &suffix = ".1",
+                std::string *error = nullptr);
+
+} // namespace vgiw
+
+#endif // VGIW_COMMON_ATOMIC_FILE_HH

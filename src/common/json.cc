@@ -1,0 +1,90 @@
+#include "common/json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vgiw
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default: {
+            // Escape through the unsigned value: a plain (signed) char
+            // would sign-extend bytes >= 0x80 into \uffxx garbage.
+            // DEL (0x7f) and high bytes are escaped too, keeping the
+            // output pure printable ASCII.
+            const unsigned uc = static_cast<unsigned char>(c);
+            if (uc < 0x20 || uc >= 0x7f) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", uc);
+                out += buf;
+            } else {
+                out += c;
+            }
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonUnescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c != '\\' || i + 1 >= s.size()) {
+            out += c;
+            continue;
+        }
+        const char e = s[++i];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 < s.size()) {
+                char buf[5] = {s[i + 1], s[i + 2], s[i + 3], s[i + 4], 0};
+                char *end = nullptr;
+                const unsigned long v = std::strtoul(buf, &end, 16);
+                if (end == buf + 4 && v < 0x100) {
+                    out += char(static_cast<unsigned char>(v));
+                    i += 4;
+                    break;
+                }
+            }
+            // Malformed \u: keep the bytes verbatim rather than guess.
+            out += '\\';
+            out += 'u';
+            break;
+          }
+          default:
+            out += '\\';
+            out += e;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace vgiw

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal JSON string/number helpers shared by every component that
+ * emits or re-reads the sweep's JSON-lines artifacts (the experiment
+ * engine, the result journal, the bench harnesses). The emitters were
+ * born as per-file static helpers; the result journal made a shared,
+ * invertible pair (escape + unescape) load-bearing: a journal entry
+ * must survive a write/load round trip byte-for-byte or resume breaks
+ * the bit-identity contract.
+ */
+
+#ifndef VGIW_COMMON_JSON_HH
+#define VGIW_COMMON_JSON_HH
+
+#include <string>
+
+namespace vgiw
+{
+
+/**
+ * Escape @p s for embedding in a JSON string literal. Quotes,
+ * backslashes and the usual control shorthands are escaped; every
+ * other byte < 0x20 or >= 0x7f (DEL and high bytes, through the
+ * unsigned value so nothing sign-extends) becomes \\u00xx — the output
+ * is pure printable ASCII.
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Inverse of jsonEscape: decode the escapes it produces (\\" \\\\ \\n
+ * \\r \\t \\uXXXX with XXXX < 0x100). Not a general JSON string
+ * decoder — surrogate pairs and multi-byte \\u escapes never appear in
+ * jsonEscape output and are passed through undecoded.
+ */
+std::string jsonUnescape(const std::string &s);
+
+/** Shortest round-trippable decimal for a double. */
+std::string jsonNumber(double v);
+
+} // namespace vgiw
+
+#endif // VGIW_COMMON_JSON_HH

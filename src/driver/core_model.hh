@@ -75,6 +75,20 @@ class CoreModel
     virtual std::string compileKey() const = 0;
 
     /**
+     * Fingerprint of every *replay-side* configuration field run()
+     * reads (LVC/CVT sizes, miss window, scheduler limits, ...) — the
+     * complement of compileKey(). compileKey() + replayKey() together
+     * pin everything that can change a job's statistics, which is what
+     * the result journal keys resumable jobs by. Watchdog budgets are
+     * deliberately excluded: they bound a replay without changing its
+     * result, and a resume (or a retry) may legitimately widen them.
+     * The EnergyTable is also excluded — it is not sweepable from the
+     * CLI; programmatic sweeps that vary it must disambiguate via the
+     * job's configLabel, which participates in the job key.
+     */
+    virtual std::string replayKey() const = 0;
+
+    /**
      * Compile @p kernel into this architecture's replay artifact:
      * per-block DFG construction, placement, static analysis. Launch
      * geometry does not participate (tiling happens at replay time).

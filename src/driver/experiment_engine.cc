@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/json.hh"
 #include "common/watchdog.hh"
 
 namespace vgiw
@@ -14,47 +15,6 @@ namespace vgiw
 
 namespace
 {
-
-/** JSON string escaping (quotes, backslashes, control characters). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default: {
-            // Escape through the unsigned value: a plain (signed) char
-            // would sign-extend bytes >= 0x80 into \uffxx garbage.
-            // DEL (0x7f) and high bytes are escaped too, keeping the
-            // output pure printable ASCII.
-            const unsigned uc = static_cast<unsigned char>(c);
-            if (uc < 0x20 || uc >= 0x7f) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", uc);
-                out += buf;
-            } else {
-                out += c;
-            }
-          }
-        }
-    }
-    return out;
-}
-
-/** Shortest round-trippable decimal for a double. */
-std::string
-jsonNumber(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return buf;
-}
 
 std::function<WorkloadInstance()>
 registryMake(const std::string &name)
@@ -74,22 +34,93 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
     if (jobs.empty())
         return results;
 
+    ResultJournal *journal = opts_.journal;
+    std::vector<std::string> keys;
+    if (journal) {
+        keys.resize(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i)
+            keys[i] = jobKey(jobs[i]);
+    }
+
+    // Satisfy journaled jobs verbatim (resume mode); everything else
+    // goes to the worker pool. Pending slots are pre-marked `drained`:
+    // a slot no worker reaches before a stop request keeps the marker.
+    std::vector<size_t> pending;
+    pending.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        JobResult &r = results[i];
+        r.workload = jobs[i].workload;
+        r.arch = jobs[i].arch;
+        r.configLabel = jobs[i].configLabel;
+        const JournalEntry *e = nullptr;
+        if (journal) {
+            auto it = journal->entries().find(keys[i]);
+            if (it != journal->entries().end())
+                e = &it->second;
+        }
+        if (e) {
+            r.restored = true;
+            r.restoredJson = e->jsonLine;
+            r.goldenPassed = e->golden;
+            r.quarantined = e->quarantined;
+            if (e->ok) {
+                r.ran = true;
+            } else {
+                r.error = "failed in the journaled run (restored "
+                          "verbatim; see the journal entry)";
+            }
+        } else {
+            r.drained = true;
+            pending.push_back(i);
+        }
+    }
+
+    // Report restored results up-front in submission order, so
+    // progress and failure accounting match an uninterrupted run.
+    if (opts_.onResult || opts_.onFailure || opts_.injector) {
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (results[i].restored)
+                report(i, results[i]);
+        }
+    }
+    if (pending.empty())
+        return results;
+
     unsigned workers = opts_.jobs ? opts_.jobs
                                   : std::thread::hardware_concurrency();
     if (workers == 0)
         workers = 1;
-    if (size_t(workers) > jobs.size())
-        workers = unsigned(jobs.size());
+    if (size_t(workers) > pending.size())
+        workers = unsigned(pending.size());
 
     std::atomic<size_t> next{0};
     std::mutex report_mu;  // serialises the progress/failure callbacks
 
     auto work = [&]() {
-        for (size_t i; (i = next.fetch_add(1)) < jobs.size();) {
-            results[i] = runJob(jobs[i], i);
+        for (size_t n; (n = next.fetch_add(1)) < pending.size();) {
+            // Graceful drain: stop dequeueing; jobs already past this
+            // check run to completion (or to their watchdogs).
+            if (opts_.stop &&
+                opts_.stop->load(std::memory_order_acquire)) {
+                break;
+            }
+            const size_t i = pending[n];
+            results[i] = runJobWithRetry(jobs[i], i);
             if (opts_.onResult || opts_.onFailure || opts_.injector) {
                 std::lock_guard<std::mutex> lock(report_mu);
                 report(i, results[i]);
+            }
+            if (journal) {
+                // Journal *after* the callbacks so the entry records
+                // any callback-failure demotion — the line on disk
+                // must equal the line the JSON writer will emit.
+                JournalEntry entry;
+                entry.key = keys[i];
+                entry.ok = results[i].ok();
+                entry.golden = results[i].goldenPassed;
+                entry.quarantined = results[i].quarantined;
+                entry.jsonLine = toJsonLine(results[i]);
+                journal->append(entry);
             }
         }
     };
@@ -104,6 +135,77 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
         // jthreads join on scope exit.
     }
     return results;
+}
+
+JobResult
+ExperimentEngine::runJobWithRetry(const ExperimentJob &job, size_t index)
+{
+    const RetryPolicy &rp = opts_.retry;
+    for (unsigned attempt = 1;; ++attempt) {
+        ExperimentJob j = job;
+        if (attempt > 1) {
+            // Escalate the watchdog budgets of every core in lockstep
+            // (the job's arch picks the one that matters); runJob
+            // re-anchors the deadline at re-entry, so a retry gets a
+            // fresh wall-clock budget.
+            j.config.vgiw.watchdog =
+                rp.escalate(job.config.vgiw.watchdog, attempt);
+            j.config.fermi.watchdog =
+                rp.escalate(job.config.fermi.watchdog, attempt);
+            j.config.sgmf.watchdog =
+                rp.escalate(job.config.sgmf.watchdog, attempt);
+        }
+        JobResult out = runJob(j, index);
+        out.attempts = attempt;
+        if (out.ok())
+            return out;
+        const bool draining =
+            opts_.stop && opts_.stop->load(std::memory_order_acquire);
+        if (!draining && rp.shouldRetry(out.errorKind, attempt))
+            continue;
+        // Terminal failure. Quarantined = the kind was retryable and
+        // the configured budget is exhausted; a drain abandons the
+        // loop without quarantining (a resume will retry afresh), and
+        // fail-fast kinds are plain failures, as without a policy.
+        out.quarantined = !draining && rp.maxAttempts > 1 &&
+                          RetryPolicy::retryableKind(out.errorKind) &&
+                          attempt >= rp.maxAttempts;
+        return out;
+    }
+}
+
+std::string
+ExperimentEngine::jobKey(const ExperimentJob &job)
+{
+    std::string key = job.workload + "|" + job.arch + "|" +
+                      job.configLabel + "|" +
+                      job.config.jobFingerprint(job.arch);
+    // A custom make() is opaque: tag it so registry jobs can never
+    // collide with synthetic ones sharing a label.
+    if (job.make)
+        key += "|custom";
+    return key;
+}
+
+std::string
+ExperimentEngine::sweepHash(const std::vector<ExperimentJob> &jobs)
+{
+    // Order-sensitive FNV-1a over the job keys: cheap, stable across
+    // platforms, and any definition change flips it.
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+        h ^= 0xffu;  // record separator: {"a","b"} != {"ab"}
+        h *= 1099511628211ull;
+    };
+    for (const auto &job : jobs)
+        mix(jobKey(job));
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)h);
+    return buf;
 }
 
 void
@@ -322,6 +424,12 @@ ExperimentEngine::compareSuite(const SystemConfig &cfg)
 std::string
 ExperimentEngine::toJsonLine(const JobResult &r)
 {
+    // A restored result re-emits the journaled bytes untouched: this
+    // is what makes kill + resume bit-identical to an uninterrupted
+    // run even if the serialisation format evolves between releases.
+    if (r.restored)
+        return r.restoredJson;
+
     std::ostringstream os;
     os << "{\"workload\":\"" << jsonEscape(r.workload) << "\""
        << ",\"arch\":\"" << jsonEscape(r.arch) << "\""
@@ -338,6 +446,14 @@ ExperimentEngine::toJsonLine(const JobResult &r)
         os << ",\"partial_cycles\":" << r.partial.cycles
            << ",\"partial_block_execs\":" << r.partial.dynBlockExecs
            << ",\"partial_thread_ops\":" << r.partial.dynThreadOps;
+    // Retry bookkeeping, failures only: a healthy suite's lines stay
+    // byte-identical to the retry-free engine's output.
+    if (!r.ok()) {
+        if (r.attempts > 1)
+            os << ",\"attempts\":" << r.attempts;
+        if (r.quarantined)
+            os << ",\"quarantined\":true";
+    }
     if (r.ran) {
         const RunStats &s = r.stats;
         os << ",\"supported\":" << (s.supported ? "true" : "false")

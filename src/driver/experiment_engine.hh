@@ -26,11 +26,25 @@
  * state is built, and user callbacks are guarded so a throwing
  * observer cannot terminate a worker thread. One broken sweep point
  * never aborts the process.
+ *
+ * Durability: with a ResultJournal attached, every terminal JobResult
+ * is fsync'd to disk (keyed by jobKey) before the sweep moves on, and
+ * a resumed engine skips jobs whose keys the journal already holds —
+ * their slots are satisfied verbatim from the journal, so the merged
+ * output of a killed-and-resumed sweep is bit-identical to an
+ * uninterrupted one. A RetryPolicy re-runs budget-sensitive failures
+ * (watchdog/internal) with escalating watchdog budgets and quarantines
+ * jobs that exhaust their attempts; deterministic failures fail fast.
+ * A stop flag (usually &drainFlag(), set by SIGINT/SIGTERM) drains the
+ * pool gracefully: no new jobs are dequeued, in-flight jobs finish or
+ * trip their watchdogs, and undispatched slots come back marked
+ * `drained`.
  */
 
 #ifndef VGIW_DRIVER_EXPERIMENT_ENGINE_HH
 #define VGIW_DRIVER_EXPERIMENT_ENGINE_HH
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -39,6 +53,8 @@
 #include "driver/compile_cache.hh"
 #include "driver/fault_injector.hh"
 #include "driver/core_model.hh"
+#include "driver/result_journal.hh"
+#include "driver/retry_policy.hh"
 #include "driver/run_stats.hh"
 #include "driver/runner.hh"
 #include "driver/system_config.hh"
@@ -90,6 +106,21 @@ struct JobResult
     };
     PartialProgress partial;
 
+    /** Attempts consumed (1 unless a RetryPolicy re-ran the job). */
+    unsigned attempts = 1;
+    /** Failed with a retryable kind and exhausted its retry budget. */
+    bool quarantined = false;
+
+    /** Satisfied verbatim from a resume journal, not executed; the
+     * original run's JSON line is in restoredJson and toJsonLine
+     * re-emits it byte-for-byte. */
+    bool restored = false;
+    std::string restoredJson;
+
+    /** Never dispatched: the sweep drained on a stop request before
+     * this job started. Not journaled; a resume re-enqueues it. */
+    bool drained = false;
+
     bool ok() const { return ran && error.empty(); }
 };
 
@@ -125,6 +156,27 @@ struct EngineOptions
      * as each job passes through them.
      */
     FaultInjector *injector = nullptr;
+
+    /** Per-kind retry/quarantine policy; the default (maxAttempts 1)
+     * disables retries and reproduces the policy-free engine. */
+    RetryPolicy retry{};
+
+    /**
+     * Optional durable result journal; not owned. Must be open
+     * (create or openForResume) before run(). Every terminal result
+     * is appended fsync'd; entries recovered by openForResume satisfy
+     * matching jobs without executing them.
+     */
+    ResultJournal *journal = nullptr;
+
+    /**
+     * Optional graceful-drain flag; not owned. When it becomes true
+     * (a signal handler, another thread, a callback), workers stop
+     * dequeueing: in-flight jobs finish (or trip their watchdogs) and
+     * are journaled, pending retries are abandoned, and every
+     * undispatched job's slot is returned with `drained == true`.
+     */
+    const std::atomic<bool> *stop = nullptr;
 };
 
 /** Parallel (workload × config × architecture) sweep executor. */
@@ -163,11 +215,33 @@ class ExperimentEngine
      * (architecture compile slice, kernel) pair). */
     CompileCache &compileCache() { return ccache_; }
 
-    /** Serialise one result as a JSON-lines object (no newline). */
+    /** Serialise one result as a JSON-lines object (no newline).
+     * Restored results re-emit their journaled bytes verbatim. */
     static std::string toJsonLine(const JobResult &result);
+
+    /**
+     * Stable identity of one sweep point: workload × arch ×
+     * configLabel × the config's jobFingerprint (compile + replay
+     * keys). Two jobs with equal keys produce bit-identical results,
+     * which is what lets a resume satisfy one from the other's
+     * journal entry. Jobs with a custom `make` are tagged; their
+     * workload label must be unique within the sweep.
+     */
+    static std::string jobKey(const ExperimentJob &job);
+
+    /**
+     * Order-sensitive FNV-1a hash over every job key — the sweep
+     * definition hash pinned in the journal header. Any change to the
+     * job list or to a statistics-relevant config knob changes it,
+     * invalidating stale journals.
+     */
+    static std::string sweepHash(const std::vector<ExperimentJob> &jobs);
 
   private:
     JobResult runJob(const ExperimentJob &job, size_t index);
+    /** runJob under the RetryPolicy: escalating watchdog budgets per
+     * attempt, quarantine on exhaustion, drain-aware. */
+    JobResult runJobWithRetry(const ExperimentJob &job, size_t index);
     /** Serialised onResult/onFailure dispatch with the callback guard
      * (and the callback injection point) applied. */
     void report(size_t index, JobResult &result);

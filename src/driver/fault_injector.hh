@@ -67,13 +67,25 @@ class FaultInjector
      * compile-kind at compile, a panic at replay, a throw at callback. */
     void armCorrupt(Point p, size_t job_index);
 
+    /**
+     * A *transient* fault: the first @p fail_count firings of
+     * (@p p, @p job_index) detonate @p fault, after which the point
+     * passes clean. With the engine's retry loop re-firing the same
+     * (point, job) pair once per attempt, this deterministically
+     * exercises recover-after-retry: attempts 1..fail_count fail,
+     * attempt fail_count+1 succeeds. The default fault throws a
+     * retryable `internal`-kind SimError.
+     */
+    void armTransient(Point p, size_t job_index, unsigned fail_count,
+                      std::function<void()> fault = {});
+
     /** Arm an arbitrary fault; @p fault may throw, panic or sleep. */
     void arm(Point p, size_t job_index, std::function<void()> fault);
 
     /**
      * Engine hook: detonate the fault armed at (@p p, @p job_index), if
-     * any. Each rule fires at most once. May throw whatever the fault
-     * throws.
+     * any. A rule fires at most its armed count of times (once, except
+     * for armTransient). May throw whatever the fault throws.
      */
     void fire(Point p, size_t job_index);
 
@@ -83,8 +95,15 @@ class FaultInjector
   private:
     using Key = std::pair<uint8_t, size_t>;  // (point, job index)
 
+    /** An armed fault and how many more firings detonate it. */
+    struct Rule
+    {
+        std::function<void()> fault;
+        unsigned remaining = 1;
+    };
+
     std::mutex mu_;
-    std::map<Key, std::function<void()>> armed_;
+    std::map<Key, Rule> armed_;
     std::atomic<uint64_t> fired_{0};
 };
 

@@ -1,0 +1,279 @@
+#include "driver/result_journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/atomic_file.hh"
+#include "common/json.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+constexpr const char *kHeaderPrefix =
+    "{\"journal\":\"vgiw-sweep\",\"version\":1,\"sweep\":\"";
+
+void
+setError(std::string *error, std::string what)
+{
+    if (error)
+        *error = std::move(what);
+}
+
+/** Parse `"name":` at @p pos, advancing past it; false on mismatch. */
+bool
+expect(const std::string &line, size_t &pos, const std::string &token)
+{
+    if (line.compare(pos, token.size(), token) != 0)
+        return false;
+    pos += token.size();
+    return true;
+}
+
+/** Parse a JSON bool at @p pos, advancing past it. */
+bool
+parseBool(const std::string &line, size_t &pos, bool &out)
+{
+    if (line.compare(pos, 4, "true") == 0) {
+        out = true;
+        pos += 4;
+        return true;
+    }
+    if (line.compare(pos, 5, "false") == 0) {
+        out = false;
+        pos += 5;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Parse the escaped string literal starting at the opening quote at
+ * @p pos; @p pos ends up past the closing quote. Only the escapes
+ * jsonEscape emits occur (it never leaves a bare backslash before a
+ * quote), so scanning for an unescaped '"' is exact.
+ */
+bool
+parseString(const std::string &line, size_t &pos, std::string &out)
+{
+    if (pos >= line.size() || line[pos] != '"')
+        return false;
+    size_t end = pos + 1;
+    while (end < line.size() && line[end] != '"') {
+        if (line[end] == '\\')
+            ++end;  // skip the escaped character
+        ++end;
+    }
+    if (end >= line.size())
+        return false;
+    out = jsonUnescape(line.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+    return true;
+}
+
+/** Parse one entry line; false on any malformation (truncated tail). */
+bool
+parseEntryLine(const std::string &line, JournalEntry &e)
+{
+    size_t pos = 0;
+    if (!expect(line, pos, "{\"key\":"))
+        return false;
+    if (!parseString(line, pos, e.key))
+        return false;
+    if (!expect(line, pos, ",\"ok\":") || !parseBool(line, pos, e.ok))
+        return false;
+    if (!expect(line, pos, ",\"golden\":") ||
+        !parseBool(line, pos, e.golden)) {
+        return false;
+    }
+    if (!expect(line, pos, ",\"quarantined\":") ||
+        !parseBool(line, pos, e.quarantined)) {
+        return false;
+    }
+    if (!expect(line, pos, ",\"result\":"))
+        return false;
+    // The rest of the line is the verbatim result object plus the
+    // wrapper's closing brace.
+    if (pos >= line.size() || line.back() != '}')
+        return false;
+    e.jsonLine = line.substr(pos, line.size() - pos - 1);
+    return !e.jsonLine.empty() && e.jsonLine.front() == '{' &&
+           e.jsonLine.back() == '}';
+}
+
+} // namespace
+
+std::string
+ResultJournal::formatEntry(const JournalEntry &e)
+{
+    std::ostringstream os;
+    os << "{\"key\":\"" << jsonEscape(e.key) << "\""
+       << ",\"ok\":" << (e.ok ? "true" : "false")
+       << ",\"golden\":" << (e.golden ? "true" : "false")
+       << ",\"quarantined\":" << (e.quarantined ? "true" : "false")
+       << ",\"result\":" << e.jsonLine << "}";
+    return os.str();
+}
+
+ResultJournal::Loaded
+ResultJournal::load(const std::string &path)
+{
+    Loaded out;
+    std::ifstream in(path);
+    if (!in) {
+        out.error = "cannot open '" + path + "'";
+        return out;
+    }
+
+    std::string line;
+    if (!std::getline(in, line)) {
+        out.error = "journal '" + path + "' is empty (no header)";
+        return out;
+    }
+    // A header truncated mid-write has no terminating `"}`; reject it
+    // like any other malformed header.
+    const size_t prefix_len = std::strlen(kHeaderPrefix);
+    if (line.compare(0, prefix_len, kHeaderPrefix) != 0 ||
+        line.size() < prefix_len + 2 ||
+        line.compare(line.size() - 2, 2, "\"}") != 0) {
+        out.error = "journal '" + path + "' has a malformed header";
+        return out;
+    }
+    out.sweepHash = jsonUnescape(
+        line.substr(prefix_len, line.size() - prefix_len - 2));
+    out.valid = true;
+
+    while (std::getline(in, line)) {
+        // getline() also returns a final line with no trailing '\n';
+        // such a line may be a half-written append. Entries are only
+        // trusted when they parse completely — the first bad line ends
+        // the recovery (appends are sequential, so nothing valid can
+        // follow a torn write).
+        JournalEntry e;
+        if (!parseEntryLine(line, e))
+            break;
+        out.entries[e.key] = std::move(e);
+    }
+    return out;
+}
+
+bool
+ResultJournal::openAppend(const std::string &path, std::string *error)
+{
+    file_ = std::fopen(path.c_str(), "a");
+    if (!file_) {
+        setError(error, "cannot open journal '" + path +
+                            "' for append: " + std::strerror(errno));
+        return false;
+    }
+    path_ = path;
+    return true;
+}
+
+bool
+ResultJournal::create(const std::string &path,
+                      const std::string &sweepHash, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    // Never silently destroy an old journal: rotate it aside first.
+    if (std::string rot_err;
+        !rotateFile(path, ".1", &rot_err)) {
+        setError(error, "cannot rotate old journal: " + rot_err);
+        return false;
+    }
+    if (!openAppend(path, error))
+        return false;
+    const std::string header =
+        kHeaderPrefix + jsonEscape(sweepHash) + "\"}";
+    if (std::fprintf(file_, "%s\n", header.c_str()) < 0 ||
+        std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+        setError(error, "cannot write journal header to '" + path +
+                            "': " + std::strerror(errno));
+        std::fclose(file_);
+        file_ = nullptr;
+        return false;
+    }
+    return true;
+}
+
+bool
+ResultJournal::openForResume(const std::string &path,
+                             const std::string &sweepHash,
+                             std::string *error)
+{
+    if (::access(path.c_str(), F_OK) != 0) {
+        // Nothing to resume from: degrade to a fresh journal so
+        // `--resume` is safe to pass unconditionally in scripts.
+        return create(path, sweepHash, error);
+    }
+
+    Loaded loaded = load(path);
+    if (!loaded.valid) {
+        setError(error, loaded.error);
+        return false;
+    }
+    if (loaded.sweepHash != sweepHash) {
+        setError(error,
+                 "journal '" + path + "' is stale: it records sweep " +
+                     loaded.sweepHash + " but this run is sweep " +
+                     sweepHash +
+                     " (the job list or configuration changed); "
+                     "refusing to merge");
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_ = std::move(loaded.entries);
+    return openAppend(path, error);
+}
+
+bool
+ResultJournal::append(const JournalEntry &entry)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!file_) {
+        if (writeError_.empty())
+            writeError_ = "journal is not open";
+        return false;
+    }
+    const std::string line = formatEntry(entry);
+    // fsync before returning: once the engine reports this job done,
+    // no later crash may lose it.
+    if (std::fprintf(file_, "%s\n", line.c_str()) < 0 ||
+        std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+        if (writeError_.empty()) {
+            writeError_ = "journal append to '" + path_ +
+                          "' failed: " + std::strerror(errno);
+        }
+        return false;
+    }
+    return true;
+}
+
+std::string
+ResultJournal::writeError() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return writeError_;
+}
+
+void
+ResultJournal::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_) {
+        std::fflush(file_);
+        ::fsync(fileno(file_));
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+} // namespace vgiw

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "common/json.hh"
+#include "driver/core_model.hh"
 #include "mem/memory_system.hh"
 
 namespace vgiw
@@ -34,6 +36,21 @@ SystemConfig::validate(std::string_view arch) const
             return d;
     }
     return {};
+}
+
+std::string
+SystemConfig::jobFingerprint(std::string_view arch) const
+{
+    // jsonNumber's %.17g round-trips doubles, so two configs with the
+    // same clocks fingerprint identically across runs and platforms.
+    std::string fp = "clk:" + jsonNumber(coreGhz) + "," +
+                     jsonNumber(interconnectGhz) + "," +
+                     jsonNumber(l2Ghz) + "," + jsonNumber(dramGhz);
+    if (auto model = makeCoreModel(arch, *this))
+        fp += "|" + model->compileKey() + "|" + model->replayKey();
+    else
+        fp += "|unknown-arch";
+    return fp;
 }
 
 void

@@ -49,6 +49,16 @@ struct SystemConfig
      */
     std::string validate(std::string_view arch) const;
 
+    /**
+     * Stable fingerprint of every configuration field that can change
+     * a job's statistics on @p arch: the clock domains plus the named
+     * architecture's compile and replay keys. This is the config slice
+     * of the result journal's job key (see ExperimentEngine::jobKey);
+     * watchdog budgets are excluded by contract — a resume or retry
+     * may widen them without invalidating completed results.
+     */
+    std::string jobFingerprint(std::string_view arch) const;
+
     /** Apply the same replay ceilings to all three core models. */
     void setWatchdog(const WatchdogConfig &wd);
 

@@ -76,6 +76,14 @@ SgmfCore::compileKey() const
            std::to_string(cfg_.maxReplicas);
 }
 
+std::string
+SgmfCore::replayKey() const
+{
+    // The injection loop reads only the miss window beyond what the
+    // compile artifact already fixes.
+    return "mw:" + std::to_string(cfg_.missWindow);
+}
+
 std::shared_ptr<const CompiledKernel>
 SgmfCore::compile(const Kernel &k) const
 {

@@ -89,6 +89,7 @@ class SgmfCore final : public CoreModel
     std::string name() const override { return "sgmf"; }
 
     std::string compileKey() const override;
+    std::string replayKey() const override;
 
     /** Whole-kernel placement, replication and static graph counts. */
     std::shared_ptr<const CompiledKernel>

@@ -62,6 +62,19 @@ FermiCore::compileKey() const
     return "fermi";
 }
 
+std::string
+FermiCore::replayKey() const
+{
+    // The scheduler limits and latencies the issue loop reads; the
+    // compile artifact is configuration-independent (see compileKey).
+    return "warp:" + std::to_string(cfg_.warpSize) +
+           "|res:" + std::to_string(cfg_.maxResidentWarps) + "," +
+           std::to_string(cfg_.maxResidentCtas) +
+           "|scu:" + std::to_string(cfg_.scuIssueCycles) +
+           "|dep:" + std::to_string(cfg_.aluDependencyLatency) +
+           "|shm:" + std::to_string(cfg_.sharedLatency);
+}
+
 std::shared_ptr<const CompiledKernel>
 FermiCore::compile(const Kernel &k) const
 {

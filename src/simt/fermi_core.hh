@@ -99,6 +99,7 @@ class FermiCore final : public CoreModel
     std::string name() const override { return "fermi"; }
 
     std::string compileKey() const override;
+    std::string replayKey() const override;
 
     /** Decode the kernel and build the reconvergence (post-dominator)
      * tree. Config-independent: every Fermi sweep point shares it. */

@@ -90,6 +90,21 @@ VgiwCore::compileKey() const
            std::to_string(cfg_.enableReplication ? cfg_.maxReplicas : 1);
 }
 
+std::string
+VgiwCore::replayKey() const
+{
+    // Everything run() reads that compileKey() does not: LVC capacity
+    // and hit latency, CVT capacity/banking, the outstanding-miss
+    // window and the coalescing extension. Watchdog budgets are
+    // excluded by contract (see CoreModel::replayKey).
+    return "lvc:" + std::to_string(cfg_.lvcBytes) + "," +
+           std::to_string(cfg_.lvcHitLatency) +
+           "|cvt:" + std::to_string(cfg_.cvtCapacityBits) + "," +
+           std::to_string(cfg_.cvtBanks) +
+           "|mw:" + std::to_string(cfg_.missWindow) +
+           "|coal:" + (cfg_.enableMemoryCoalescing ? "1" : "0");
+}
+
 std::shared_ptr<const CompiledKernel>
 VgiwCore::compile(const Kernel &k) const
 {

@@ -120,6 +120,7 @@ class VgiwCore final : public CoreModel
 
     std::string name() const override { return "vgiw"; }
     std::string compileKey() const override;
+    std::string replayKey() const override;
 
     /** Build + place each block's DFG (Section 3.1's compiler step). */
     std::shared_ptr<const CompiledKernel>

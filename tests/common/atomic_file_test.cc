@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Atomic-file-helper tests: the write-temp/rename protocol must leave
+ * either the old content or the complete new content at the target —
+ * never a prefix — and must clean up its temporary on every path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <dirent.h>
+
+#include "common/atomic_file.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+std::string
+testPath(const std::string &name)
+{
+    return ::testing::TempDir() + "vgiw_atomic_file_" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Number of leftover "<base>.tmp.*" entries in TempDir. */
+int
+tempLeftovers(const std::string &base)
+{
+    int count = 0;
+    DIR *d = ::opendir(::testing::TempDir().c_str());
+    if (!d)
+        return -1;
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.rfind(base + ".tmp.", 0) == 0)
+            ++count;
+    }
+    ::closedir(d);
+    return count;
+}
+
+TEST(AtomicFile, WriteCreatesFileWithExactContents)
+{
+    const std::string path = testPath("create");
+    std::remove(path.c_str());
+
+    std::string err;
+    ASSERT_TRUE(writeFileAtomic(path, "line one\nline two\n", &err))
+        << err;
+    EXPECT_EQ(slurp(path), "line one\nline two\n");
+    EXPECT_EQ(tempLeftovers("vgiw_atomic_file_create"), 0);
+}
+
+TEST(AtomicFile, WriteReplacesExistingContentsCompletely)
+{
+    const std::string path = testPath("replace");
+    std::string err;
+    ASSERT_TRUE(writeFileAtomic(path, "old old old old", &err)) << err;
+    // Shorter replacement: a non-atomic in-place write would leave a
+    // tail of the old content.
+    ASSERT_TRUE(writeFileAtomic(path, "new", &err)) << err;
+    EXPECT_EQ(slurp(path), "new");
+}
+
+TEST(AtomicFile, FailedWriteLeavesExistingFileUntouched)
+{
+    const std::string path = testPath("protected");
+    std::string err;
+    ASSERT_TRUE(writeFileAtomic(path, "precious", &err)) << err;
+
+    // An unwritable directory makes the temp-file creation fail.
+    const std::string bad = "/nonexistent-dir-vgiw/out.json";
+    EXPECT_FALSE(writeFileAtomic(bad, "x", &err));
+    EXPECT_FALSE(err.empty());
+
+    EXPECT_EQ(slurp(path), "precious");
+}
+
+TEST(AtomicFile, RotateMovesAsideAndIsIdempotentOnMissing)
+{
+    const std::string path = testPath("rotate");
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+
+    std::string err;
+    // Rotating a missing file is a no-op success.
+    EXPECT_TRUE(rotateFile(path, ".1", &err)) << err;
+
+    ASSERT_TRUE(writeFileAtomic(path, "generation 1", &err)) << err;
+    ASSERT_TRUE(rotateFile(path, ".1", &err)) << err;
+    EXPECT_EQ(slurp(path + ".1"), "generation 1");
+    // The original is gone; a new file can take its place.
+    std::ifstream gone(path);
+    EXPECT_FALSE(gone.good());
+}
+
+} // namespace
+} // namespace vgiw

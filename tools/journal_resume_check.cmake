@@ -1,0 +1,66 @@
+# Kill-and-resume acceptance check, at the tool level:
+#
+#   cmake -DBIN=<vgiw_run> -DWORKDIR=<scratch dir>
+#         -P journal_resume_check.cmake
+#
+# 1. Run a suite sweep uninterrupted; keep its --json output as the
+#    reference.
+# 2. Run the same sweep with a journal under an execute_process TIMEOUT
+#    short enough to SIGKILL it mid-sweep (if the machine is fast and
+#    the sweep finishes first, that is fine — resuming a complete
+#    journal is a no-op and the comparison still holds).
+# 3. Resume with --journal --resume and write the merged --json.
+# 4. The merged file must be byte-identical to the reference.
+
+if (NOT DEFINED BIN OR NOT DEFINED WORKDIR)
+    message(FATAL_ERROR "BIN and WORKDIR must be defined")
+endif ()
+
+set(sweep --suite --arch vgiw --jobs 2)
+set(ref "${WORKDIR}/reference.json")
+set(merged "${WORKDIR}/merged.json")
+set(journal "${WORKDIR}/sweep.jsonl")
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# 1. Uninterrupted reference.
+execute_process(COMMAND ${BIN} ${sweep} --json "${ref}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference run failed (rc=${rc}):\n${err}")
+endif ()
+
+# 2. Journaled run, killed by the TIMEOUT (SIGKILL — no handler can
+#    soften it, so this exercises the torn-tail recovery path too).
+execute_process(COMMAND ${BIN} ${sweep} --journal "${journal}"
+                TIMEOUT 1
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if (NOT rc EQUAL 0 AND NOT rc MATCHES "timeout")
+    message(FATAL_ERROR
+            "journaled run neither completed nor timed out: rc=${rc}")
+endif ()
+if (NOT EXISTS "${journal}")
+    message(FATAL_ERROR "journaled run left no journal at ${journal}")
+endif ()
+
+# 3. Resume against whatever prefix survived.
+execute_process(COMMAND ${BIN} ${sweep} --journal "${journal}" --resume
+                        --json "${merged}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "resume run failed (rc=${rc}):\n${out}\n${err}")
+endif ()
+
+# 4. Bit-identity: kill + resume must equal never-killed.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${ref}" "${merged}"
+                RESULT_VARIABLE rc)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "merged JSON differs from the uninterrupted reference "
+            "(${ref} vs ${merged})")
+endif ()

@@ -10,6 +10,8 @@
  *            [--max-replay-cycles N] [--deadline-ms N]
  *   vgiw_run --suite [--arch ...] [--jobs N] [--json <file>]
  *            [--max-replay-cycles N] [--deadline-ms N]
+ *            [--journal <file>] [--resume] [--retries N]
+ *   vgiw_run [--suite|--workload ...] --dry-run
  *
  * Single-workload mode runs one Table 2 workload (functional execution
  * + golden check, then the requested core models) and prints a RunStats
@@ -18,13 +20,24 @@
  * JSON-lines object per (workload, arch) result alongside the ASCII
  * report. --max-replay-cycles and --deadline-ms arm the per-job
  * watchdogs: a job that exceeds either budget is aborted and recorded
- * as a watchdog failure instead of hanging the sweep. This is the tool
- * a user reaches for before scripting against the library API.
+ * as a watchdog failure instead of hanging the sweep.
+ *
+ * Durability (long sweeps): --journal appends every completed job to a
+ * write-ahead, fsync'd result journal; --resume skips the jobs the
+ * journal already holds and re-runs only the rest, producing --json
+ * output bit-identical to an uninterrupted run. --retries N re-runs
+ * watchdog/internal failures up to N extra attempts with escalating
+ * budgets and quarantines jobs that exhaust them. SIGINT/SIGTERM drain
+ * gracefully: no new jobs start, in-flight jobs finish (or trip their
+ * watchdogs), the journal is flushed. --dry-run validates the
+ * configuration and prints the job list (keys + sweep hash) without
+ * simulating — a cheap pre-flight before an hours-long run.
  *
  * Exit codes: 0 every job succeeded; 2 usage or configuration error
- * (nothing ran); 3 the sweep completed but some jobs failed (golden
- * mismatch, compile error, watchdog, panic); 1 results could not be
- * written to the --json path.
+ * (nothing ran); 3 the run completed but some jobs failed (golden
+ * mismatch, compile error, watchdog, panic); 4 the run was interrupted
+ * (SIGINT/SIGTERM) and drained gracefully; 1 results could not be
+ * written to the --json path or the journal.
  */
 
 #include <algorithm>
@@ -33,12 +46,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
+#include "common/signal_drain.hh"
 #include "common/sim_error.hh"
 #include "common/watchdog.hh"
 #include "driver/experiment_engine.hh"
+#include "driver/result_journal.hh"
 #include "ir/printer.hh"
 #include "workloads/workload.hh"
 
@@ -68,6 +85,16 @@ usage()
         "exceeds n simulated cycles\n"
         "  --deadline-ms <n>              abort a job running longer "
         "than n wall-clock ms\n"
+        "  --journal <file>               append each completed job to "
+        "a crash-safe result journal (--suite)\n"
+        "  --resume                       skip jobs the journal already "
+        "holds; re-run only the rest\n"
+        "  --retries <n>                  re-run watchdog/internal "
+        "failures up to n more times,\n"
+        "                                 escalating budgets; exhausted "
+        "jobs are quarantined\n"
+        "  --dry-run                      validate and print the job "
+        "list (keys + sweep hash), run nothing\n"
         "  --no-replication               disable block replication\n"
         "  --coalescing                   enable the future-work "
         "inter-thread coalescer\n"
@@ -81,7 +108,10 @@ usage()
         "  2  usage or configuration error (nothing ran)\n"
         "  3  run completed but some jobs failed (golden mismatch,\n"
         "     compile error, watchdog trip, internal error)\n"
-        "  1  results could not be written to the --json path\n");
+        "  4  interrupted (SIGINT/SIGTERM): drained gracefully,\n"
+        "     journal flushed; resume with --journal --resume\n"
+        "  1  results could not be written to the --json path or\n"
+        "     the journal\n");
 }
 
 void
@@ -147,19 +177,27 @@ parseCount(const std::string &opt, const char *value)
     return n;
 }
 
-/** Append results as JSON lines; returns false on I/O failure. */
+/**
+ * Write results as JSON lines via temp-file + atomic rename: a crash
+ * mid-write can never leave a truncated or half-valid artifact at the
+ * --json path. Jobs drained by an interrupt are omitted — they have no
+ * result; a resume will produce them. Returns false on I/O failure.
+ */
 bool
 writeJson(const std::string &path, const std::vector<JobResult> &results)
 {
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot open '%s' for writing\n",
-                     path.c_str());
+    std::ostringstream os;
+    for (const auto &r : results) {
+        if (r.drained)
+            continue;
+        os << ExperimentEngine::toJsonLine(r) << "\n";
+    }
+    std::string err;
+    if (!writeFileAtomic(path, os.str(), &err)) {
+        std::fprintf(stderr, "cannot write '%s': %s\n", path.c_str(),
+                     err.c_str());
         return false;
     }
-    for (const auto &r : results)
-        std::fprintf(f, "%s\n", ExperimentEngine::toJsonLine(r).c_str());
-    std::fclose(f);
     return true;
 }
 
@@ -168,11 +206,12 @@ writeJson(const std::string &path, const std::vector<JobResult> &results)
 int
 main(int argc, char **argv)
 {
-    std::string workload, arch = "all", json_path;
+    std::string workload, arch = "all", json_path, journal_path;
     VgiwConfig vcfg;
     WatchdogConfig wd;
     bool suite = false, dump_ir = false, verbose = false;
-    unsigned jobs = 0;
+    bool resume = false, dry_run = false;
+    unsigned jobs = 0, retries = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -197,6 +236,14 @@ main(int argc, char **argv)
             jobs = unsigned(parseCount(a, next()));
         } else if (a == "--json") {
             json_path = next();
+        } else if (a == "--journal") {
+            journal_path = next();
+        } else if (a == "--resume") {
+            resume = true;
+        } else if (a == "--retries") {
+            retries = unsigned(parseCount(a, next()));
+        } else if (a == "--dry-run") {
+            dry_run = true;
         } else if (a == "--lvc-bytes") {
             vcfg.lvcBytes = uint32_t(parseCount(a, next()));
         } else if (a == "--cvt-bits") {
@@ -239,6 +286,15 @@ main(int argc, char **argv)
                      "--suite and --workload are mutually exclusive\n");
         return 2;
     }
+    if (resume && journal_path.empty()) {
+        std::fprintf(stderr, "--resume requires --journal <file>\n");
+        return 2;
+    }
+    if (!suite && (!journal_path.empty() || retries)) {
+        std::fprintf(stderr, "--journal/--resume/--retries are only "
+                             "meaningful with --suite\n");
+        return 2;
+    }
 
     SystemConfig cfg;
     cfg.vgiw = vcfg;
@@ -255,25 +311,110 @@ main(int argc, char **argv)
     else
         archs = {arch};
 
+    if (!suite) {
+        const auto &registry = workloadRegistry();
+        const bool known = std::any_of(
+            registry.begin(), registry.end(),
+            [&](const auto &e) { return e.name == workload; });
+        if (!known) {
+            std::fprintf(stderr, "unknown workload '%s' (see --list)\n",
+                         workload.c_str());
+            return 2;
+        }
+    }
+
+    if (dry_run) {
+        // Pre-flight for long runs: the validated job list, its stable
+        // keys and the sweep hash a journal would be pinned to —
+        // nothing is traced or replayed.
+        std::vector<ExperimentJob> plan;
+        if (suite) {
+            plan = ExperimentEngine::suiteJobs(cfg, archs);
+        } else {
+            for (const auto &a : archs) {
+                ExperimentJob j;
+                j.workload = workload;
+                j.arch = a;
+                j.config = cfg;
+                plan.push_back(std::move(j));
+            }
+        }
+        std::printf("dry run: %zu jobs (%zu workloads x %zu archs), "
+                    "sweep %s\n",
+                    plan.size(),
+                    suite ? workloadRegistry().size() : size_t(1),
+                    archs.size(),
+                    ExperimentEngine::sweepHash(plan).c_str());
+        for (const auto &j : plan)
+            std::printf("%s\n", ExperimentEngine::jobKey(j).c_str());
+        return 0;
+    }
+
     if (suite) {
+        auto suite_jobs = ExperimentEngine::suiteJobs(cfg, archs);
         int failures = 0;
         EngineOptions opts;
         opts.jobs = jobs;
+        opts.retry.maxAttempts = 1 + retries;
         opts.onFailure = [&failures](const JobResult &r) {
             ++failures;
             std::fprintf(stderr, "FAILED %s [%s]: %s\n",
                          r.workload.c_str(), r.arch.c_str(),
                          r.error.c_str());
         };
-        ExperimentEngine engine(opts);
-        auto results = engine.run(ExperimentEngine::suiteJobs(cfg, archs));
 
+        ResultJournal journal;
+        if (!journal_path.empty()) {
+            const std::string hash =
+                ExperimentEngine::sweepHash(suite_jobs);
+            std::string err;
+            const bool opened =
+                resume ? journal.openForResume(journal_path, hash, &err)
+                       : journal.create(journal_path, hash, &err);
+            if (!opened) {
+                // A stale or unwritable journal is a configuration
+                // error: nothing has run yet.
+                std::fprintf(stderr, "journal: %s\n", err.c_str());
+                return 2;
+            }
+            opts.journal = &journal;
+            if (resume && !journal.entries().empty()) {
+                std::printf("resuming: %zu journaled results found\n",
+                            journal.entries().size());
+            }
+        }
+
+        // SIGINT/SIGTERM drain the pool instead of killing the
+        // process: in-flight jobs finish, the journal stays intact.
+        installDrainHandlers();
+        opts.stop = &drainFlag();
+
+        ExperimentEngine engine(opts);
+        auto results = engine.run(suite_jobs);
+
+        size_t restored = 0, drained = 0, quarantined = 0;
         std::printf("%-28s %-6s %12s %11s %9s %9s\n", "workload", "arch",
                     "cycles", "energy nJ", "L1 miss", "golden");
         for (const auto &r : results) {
+            if (r.drained) {
+                ++drained;
+                std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
+                            r.arch.c_str(), "not run (drained)");
+                continue;
+            }
+            restored += r.restored;
+            quarantined += r.quarantined;
+            if (r.restored && r.ok()) {
+                // Stats live in the journaled JSON, not in memory;
+                // don't print zeros as if they were measurements.
+                std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
+                            r.arch.c_str(), "ok (restored)");
+                continue;
+            }
             if (!r.ok()) {
                 std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
-                            r.arch.c_str(), "SKIPPED");
+                            r.arch.c_str(),
+                            r.quarantined ? "QUARANTINED" : "SKIPPED");
                 continue;
             }
             if (!r.stats.supported) {
@@ -293,19 +434,30 @@ main(int argc, char **argv)
                     results.size(), failures,
                     (unsigned long long)
                         engine.traceCache().functionalExecutions());
-        if (!json_path.empty() && !writeJson(json_path, results))
-            return 1;
-        return failures ? 3 : 0;
-    }
+        if (restored)
+            std::printf("%zu restored from the journal\n", restored);
+        if (quarantined)
+            std::printf("%zu quarantined after exhausting retries\n",
+                        quarantined);
+        if (drained)
+            std::printf("%zu not run: interrupted%s\n", drained,
+                        journal_path.empty()
+                            ? ""
+                            : "; resume with --journal --resume");
 
-    const auto &registry = workloadRegistry();
-    const bool known =
-        std::any_of(registry.begin(), registry.end(),
-                    [&](const auto &e) { return e.name == workload; });
-    if (!known) {
-        std::fprintf(stderr, "unknown workload '%s' (see --list)\n",
-                     workload.c_str());
-        return 2;
+        bool io_failed = false;
+        if (!json_path.empty() && !writeJson(json_path, results))
+            io_failed = true;
+        journal.close();
+        if (std::string jerr = journal.writeError(); !jerr.empty()) {
+            std::fprintf(stderr, "journal: %s\n", jerr.c_str());
+            io_failed = true;
+        }
+        if (io_failed)
+            return 1;
+        if (drainRequested())
+            return 4;
+        return failures ? 3 : 0;
     }
     WorkloadInstance w = makeWorkload(workload);
     std::printf("workload %s (%s): %d blocks, %d threads (%d CTAs x "
