@@ -105,6 +105,14 @@ class CoreModel
      * the same kernel by a model with an identical compileKey(). Must be
      * reentrant: the engine calls run() on the same object, the same
      * TraceSet and the same CompiledKernel from several threads at once.
+     *
+     * Observability: implementations may read currentMetricSink() once
+     * at entry and, when it is non-null, emit per-mechanism counters
+     * (see DESIGN.md §11). Emitted counters must be deterministic
+     * functions of (traces, compiled, replay config) — never wall
+     * clock or scheduling observables — because the engine serialises
+     * them into result JSON whose bit-identity across worker counts is
+     * tested. A null sink must cost nothing beyond the entry check.
      */
     virtual RunStats run(const TraceSet &traces,
                          const CompiledKernel &compiled) const = 0;

@@ -42,6 +42,14 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
             keys[i] = jobKey(jobs[i]);
     }
 
+    if (opts_.metrics) {
+        // One sink per job, labelled by its key: slot discipline makes
+        // collection deterministic regardless of worker scheduling.
+        opts_.metrics->reset(jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i)
+            opts_.metrics->setLabel(i, jobKey(jobs[i]));
+    }
+
     // Satisfy journaled jobs verbatim (resume mode); everything else
     // goes to the worker pool. Pending slots are pre-marked `drained`:
     // a slot no worker reaches before a stop request keeps the marker.
@@ -106,6 +114,13 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
             }
             const size_t i = pending[n];
             results[i] = runJobWithRetry(jobs[i], i);
+            if (opts_.metrics) {
+                // Serialise before the callbacks and the journal so
+                // the metrics land in the journaled line (resume
+                // re-emits it verbatim, metrics included).
+                results[i].metricsJson =
+                    opts_.metrics->job(i).countersJson();
+            }
             if (opts_.onResult || opts_.onFailure || opts_.injector) {
                 std::lock_guard<std::mutex> lock(report_mu);
                 report(i, results[i]);
@@ -141,8 +156,14 @@ JobResult
 ExperimentEngine::runJobWithRetry(const ExperimentJob &job, size_t index)
 {
     const RetryPolicy &rp = opts_.retry;
+    JobMetrics *jm = opts_.metrics ? &opts_.metrics->job(index) : nullptr;
     for (unsigned attempt = 1;; ++attempt) {
         ExperimentJob j = job;
+        if (jm && attempt > 1) {
+            // The final attempt's counters are the job's counters; the
+            // span log keeps every attempt (nested under its span).
+            jm->clearCounters();
+        }
         if (attempt > 1) {
             // Escalate the watchdog budgets of every core in lockstep
             // (the job's arch picks the one that matters); runJob
@@ -155,8 +176,14 @@ ExperimentEngine::runJobWithRetry(const ExperimentJob &job, size_t index)
             j.config.sgmf.watchdog =
                 rp.escalate(job.config.sgmf.watchdog, attempt);
         }
-        JobResult out = runJob(j, index);
+        JobResult out;
+        {
+            MetricSpan attempt_span(jm, "attempt");
+            out = runJob(j, index);
+        }
         out.attempts = attempt;
+        if (jm)
+            jm->set("engine.attempts", double(attempt));
         if (out.ok())
             return out;
         const bool draining =
@@ -214,6 +241,11 @@ ExperimentEngine::report(size_t index, JobResult &result)
     // Called with the reporting mutex held. An exception out of a user
     // callback would unwind through the worker jthread and terminate
     // the whole process — demote it to an internal failure on the job.
+    // Restored jobs never ran, so they get no callback span.
+    JobMetrics *jm = opts_.metrics && !result.restored
+                         ? &opts_.metrics->job(index)
+                         : nullptr;
+    MetricSpan span(jm, "callback");
     try {
         if (opts_.injector)
             opts_.injector->fire(FaultInjector::Point::Callback, index);
@@ -258,6 +290,11 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
     PanicCaptureScope capture;
     FaultInjector *inj = opts_.injector;
 
+    // Make the job's sink visible to the core model's replay loop for
+    // the duration of the job; null when metrics are disabled.
+    JobMetrics *jm = opts_.metrics ? &opts_.metrics->job(index) : nullptr;
+    MetricSinkScope sink(jm);
+
     try {
         // Validate before building any simulation state: a malformed
         // sweep point fails fast as a config error without consuming a
@@ -291,6 +328,7 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
 
         TraceResult traced;
         try {
+            MetricSpan span(jm, "trace");
             if (inj)
                 inj->fire(FaultInjector::Point::Trace, index);
             traced = cache_.get(job.workload, make);
@@ -318,6 +356,7 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
             // Compile once per (architecture compile slice, kernel):
             // sweep points that only vary replay-side knobs share the
             // artifact.
+            MetricSpan span(jm, "compile");
             if (inj)
                 inj->fire(FaultInjector::Point::Compile, index);
             compiled = ccache_.get(
@@ -335,6 +374,7 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
         }
 
         try {
+            MetricSpan span(jm, "replay");
             if (inj)
                 inj->fire(FaultInjector::Point::Replay, index);
             out.stats = model->run(*traced.traces, *compiled);
@@ -485,6 +525,11 @@ ExperimentEngine::toJsonLine(const JobResult &r)
         }
         os << "}";
     }
+    // Opt-in field: present only when a MetricsCollector ran the job,
+    // so default suite JSON stays bit-identical to the metrics-free
+    // engine (successes and failures both carry it when enabled).
+    if (!r.metricsJson.empty())
+        os << ",\"metrics\":" << r.metricsJson;
     os << "}";
     return os.str();
 }

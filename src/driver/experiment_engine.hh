@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/sim_error.hh"
 #include "driver/compile_cache.hh"
 #include "driver/fault_injector.hh"
@@ -121,6 +122,16 @@ struct JobResult
      * this job started. Not journaled; a resume re-enqueues it. */
     bool drained = false;
 
+    /**
+     * Serialised deterministic counters (`{"name":value,...}`) from
+     * the job's JobMetrics sink; empty unless a MetricsCollector was
+     * attached. When present, toJsonLine appends it as a `"metrics"`
+     * object — so with metrics disabled the JSON stays bit-identical
+     * to the metrics-free engine. For a retried job these are the
+     * final attempt's counters.
+     */
+    std::string metricsJson;
+
     bool ok() const { return ran && error.empty(); }
 };
 
@@ -168,6 +179,23 @@ struct EngineOptions
      * matching jobs without executing them.
      */
     ResultJournal *journal = nullptr;
+
+    /**
+     * Optional per-job metrics collection; not owned. When set, the
+     * engine sizes the collector to the job list (one JobMetrics slot
+     * per job, labelled with its jobKey), wraps every pipeline stage
+     * in spans — each retry attempt as an `attempt` span with
+     * `trace`/`compile`/`replay` nested under it, plus a `callback`
+     * span around the serialised reporting — and installs the job's
+     * sink as the worker's thread-local currentMetricSink() so the
+     * core model's replay loop can emit per-block counters without an
+     * API change. After run(), each executed (non-restored) job's
+     * deterministic counters are serialised into
+     * JobResult::metricsJson and the collector holds the span log for
+     * Chrome-trace export. Null (the default) keeps every
+     * instrumentation site at one never-taken branch.
+     */
+    MetricsCollector *metrics = nullptr;
 
     /**
      * Optional graceful-drain flag; not owned. When it becomes true

@@ -52,7 +52,10 @@ struct JournalEntry
     bool golden = false; ///< golden check verdict
     bool quarantined = false;  ///< failed and exhausted its retries
     /** The exact JSON line the run emitted for this job; resume
-     * re-emits these bytes verbatim (bit-identity). */
+     * re-emits these bytes verbatim (bit-identity). If the original
+     * run collected metrics, its "metrics" object is embedded here and
+     * survives a resume unchanged — a restored job is never re-run, so
+     * it is also never re-instrumented. */
     std::string jsonLine;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "ir/post_dominators.hh"
 #include "mem/memory_system.hh"
 #include "simt/simt_stack.hh"
@@ -162,6 +163,16 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     uint64_t issued_slots = 0;
     int rr = 0;  // round-robin pointer
 
+    // Observability counters (deterministic scheduling statistics):
+    // SIMT-stack pushes/pops across advance() — the divergence and
+    // reconvergence events the paper's Fig. 1b waste stems from — and
+    // the residency-window pick scans the round-robin issue performs.
+    JobMetrics *jm = currentMetricSink();
+    uint64_t m_divergence = 0;
+    uint64_t m_reconvergence = 0;
+    uint64_t m_scans = 0;
+    uint64_t m_scan_steps = 0;
+
     // Scheduler candidate list: warp IDs not yet done, ascending. The
     // per-issue pick scan walks this instead of all warps — completed
     // warps can never be selected again, and without pruning them the
@@ -230,6 +241,8 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
             alive.begin());
         int pick = -1;
         uint64_t next = kNever;
+        if (jm)
+            ++m_scans;
         if (upper > 0) {
             size_t start = size_t(
                 std::lower_bound(alive.begin(), alive.begin() + long(upper),
@@ -240,6 +253,8 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
             for (size_t i = 0; i < upper; ++i) {
                 const size_t j =
                     start + i < upper ? start + i : start + i - upper;
+                if (jm)
+                    ++m_scan_steps;
                 const Warp &warp = warps[alive[j]];
                 if (warp.atBarrier)
                     continue;
@@ -419,7 +434,17 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
         }
         rs.dynBlockExecs += uint64_t(active);
 
-        warp.stack.advance(lane_succ, pd);
+        if (jm) {
+            const size_t before = warp.stack.depth();
+            warp.stack.advance(lane_succ, pd);
+            const size_t after = warp.stack.depth();
+            if (after > before)
+                m_divergence += after - before;
+            else
+                m_reconvergence += before - after;
+        } else {
+            warp.stack.advance(lane_succ, pd);
+        }
         warp.blockStarted = false;
         warp.readyAt = std::max(warp.readyAt, clock);
 
@@ -448,6 +473,18 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
                  issued_slots ? double(active_lane_slots) /
                                     (32.0 * double(issued_slots))
                               : 0.0);
+
+    if (jm) {
+        jm->set("fermi.divergence_events", double(m_divergence));
+        jm->set("fermi.reconvergence_events", double(m_reconvergence));
+        jm->set("fermi.residency_scans", double(m_scans));
+        jm->set("fermi.residency_scan_steps", double(m_scan_steps));
+        jm->set("fermi.lane_occupancy",
+                issued_slots ? double(active_lane_slots) /
+                                   (32.0 * double(issued_slots))
+                             : 0.0);
+        jm->set("fermi.warps", double(total_warps));
+    }
     return rs;
 }
 

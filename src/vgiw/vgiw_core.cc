@@ -1,12 +1,16 @@
 #include "vgiw/vgiw_core.hh"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cgrf/config_cost.hh"
 #include "cgrf/placer.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/scratch_set.hh"
 #include "common/sim_error.hh"
 #include "ir/op_counts.hh"
@@ -197,6 +201,19 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     if (cfg_.watchdog.enabled())
         wd.emplace(cfg_.watchdog, "vgiw replay of '" + k.name + "'");
 
+    // Per-block attribution for the observability layer: CVT drains,
+    // LVC hit/miss traffic per block and the coalesced-vector-size
+    // histogram (batch occupancy, power-of-two buckets). Deterministic
+    // replay statistics only — safe for the "metrics" JSON contract.
+    JobMetrics *jm = currentMetricSink();
+    std::vector<double> m_drains, m_lvc_hits, m_lvc_misses;
+    std::array<uint64_t, 32> m_vhist{};
+    if (jm) {
+        m_drains.assign(size_t(num_blocks), 0.0);
+        m_lvc_hits.assign(size_t(num_blocks), 0.0);
+        m_lvc_misses.assign(size_t(num_blocks), 0.0);
+    }
+
     const int tile = tileSizeFor(k, launch);
     uint64_t compute_cycles = 0;
     uint64_t shared_accesses = 0;
@@ -245,6 +262,10 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
             const uint64_t v = rel_tids.size();
             vector_sum += v;
             ++vectors_scheduled;
+            if (jm) {
+                ++m_drains[size_t(b)];
+                ++m_vhist[v ? size_t(std::bit_width(v)) - 1 : 0];
+            }
             if (cfg_.blockObserver) {
                 gtids.clear();
                 for (uint32_t rel : rel_tids)
@@ -311,11 +332,17 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
                     auto r = lvc.access(lvid, gtid, false);
                     if (!r.hit)
                         miss_latency += r.latency;
+                    if (jm)
+                        ++(r.hit ? m_lvc_hits
+                                 : m_lvc_misses)[size_t(b)];
                 }
                 for (const auto &lo : blk.liveOuts) {
                     auto r = lvc.access(lo.lvid, gtid, true);
                     if (!r.hit)
                         miss_latency += r.latency;
+                    if (jm)
+                        ++(r.hit ? m_lvc_hits
+                                 : m_lvc_misses)[size_t(b)];
                 }
 
                 // Successor registration via the terminator CVU.
@@ -399,6 +426,29 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
                  vectors_scheduled ? double(vector_sum) /
                                          double(vectors_scheduled)
                                    : 0.0);
+
+    if (jm) {
+        jm->set("vgiw.vectors_scheduled", double(vectors_scheduled));
+        jm->set("vgiw.avg_vector_size",
+                vectors_scheduled ? double(vector_sum) /
+                                        double(vectors_scheduled)
+                                  : 0.0);
+        jm->set("vgiw.tile_threads", double(tile));
+        for (int b = 0; b < num_blocks; ++b) {
+            const std::string p = "vgiw.block" + std::to_string(b);
+            jm->set(p + ".cvt_drains", m_drains[size_t(b)]);
+            jm->set(p + ".lvc_hits", m_lvc_hits[size_t(b)]);
+            jm->set(p + ".lvc_misses", m_lvc_misses[size_t(b)]);
+        }
+        // Bucket i counts drained vectors of size [2^i, 2^(i+1));
+        // empty buckets are omitted.
+        for (size_t i = 0; i < m_vhist.size(); ++i) {
+            if (m_vhist[i]) {
+                jm->set("vgiw.vector_size_hist.p2_" + std::to_string(i),
+                        double(m_vhist[i]));
+            }
+        }
+    }
     return rs;
 }
 

@@ -1,0 +1,31 @@
+# Test driver: require `vgiw_run --help` to match the committed golden
+# help text byte-for-byte.
+#
+#   cmake -DBIN=<exe> -DGOLDEN=<docs/vgiw_run_help.txt>
+#         -P check_help_drift.cmake
+#
+# The help text is generated from the flag table in vgiw_run.cc — the
+# single source of truth the README and EXPERIMENTS.md document. This
+# check pins the rendering: adding or editing a flag without
+# regenerating the golden file (`vgiw_run --help > docs/vgiw_run_help.txt`)
+# fails CI instead of silently letting the docs drift from the binary.
+
+if (NOT DEFINED BIN OR NOT DEFINED GOLDEN)
+    message(FATAL_ERROR "BIN and GOLDEN must be defined")
+endif ()
+
+execute_process(COMMAND ${BIN} --help
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BIN} --help exited ${rc}\nstderr:\n${err}")
+endif ()
+
+file(READ ${GOLDEN} golden)
+if (NOT out STREQUAL golden)
+    message(FATAL_ERROR
+            "--help output drifted from ${GOLDEN}.\n"
+            "Regenerate it:  vgiw_run --help > docs/vgiw_run_help.txt\n"
+            "--- actual ---\n${out}\n--- golden ---\n${golden}")
+endif ()

@@ -7,8 +7,10 @@
  *            [--lvc-bytes N] [--cvt-bits N] [--no-replication]
  *            [--coalescing] [--dump-ir] [--verbose]
  *            [--jobs N] [--json <file>]
+ *            [--metrics] [--trace-out <file>]
  *            [--max-replay-cycles N] [--deadline-ms N]
  *   vgiw_run --suite [--arch ...] [--jobs N] [--json <file>]
+ *            [--metrics] [--trace-out <file>]
  *            [--max-replay-cycles N] [--deadline-ms N]
  *            [--journal <file>] [--resume] [--retries N]
  *   vgiw_run [--suite|--workload ...] --dry-run
@@ -21,6 +23,16 @@
  * report. --max-replay-cycles and --deadline-ms arm the per-job
  * watchdogs: a job that exceeds either budget is aborted and recorded
  * as a watchdog failure instead of hanging the sweep.
+ *
+ * Observability: --metrics collects per-job deterministic counters
+ * (CVT drains, LVC hit/miss per block, SIMT divergence events, SGMF
+ * placement utilisation, ...) and adds a "metrics" object to every
+ * --json line; without it the JSON is bit-identical to a metrics-free
+ * run. --trace-out writes a Chrome trace-event file (open it in
+ * chrome://tracing or Perfetto) of per-job spans — trace / compile /
+ * replay / callback, with retry attempts nested — timing where the
+ * sweep's wall clock went. Either flag alone enables collection;
+ * counters only reach the JSON with an explicit --metrics.
  *
  * Durability (long sweeps): --journal appends every completed job to a
  * write-ahead, fsync'd result journal; --resume skips the jobs the
@@ -64,44 +76,80 @@ using namespace vgiw;
 namespace
 {
 
+/**
+ * One CLI flag: its spelling, value placeholder and one-line help.
+ * This table is the single source of truth for the option surface:
+ * usage() renders it, docs/vgiw_run_help.txt pins the rendering, and
+ * the CI help-drift check diffs the two — so the --help text, the
+ * documented flag table (README / EXPERIMENTS.md) and the parser
+ * cannot drift apart silently. Adding a flag means adding a row here,
+ * a parser case below, and regenerating the golden help file.
+ */
+struct FlagSpec
+{
+    const char *name; ///< e.g. "--arch"
+    const char *arg;  ///< value placeholder, or nullptr for booleans
+    const char *help; ///< one-line description
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--workload", "<suite/kernel>",
+     "run one registry workload (see --list)"},
+    {"--suite", nullptr,
+     "sweep the whole registry through the experiment engine"},
+    {"--list", nullptr, "print the workload registry and exit"},
+    {"--arch", "<vgiw|fermi|sgmf|all>",
+     "core model(s) to run (default: all)"},
+    {"--jobs", "<n>",
+     "sweep worker threads (default: hardware concurrency)"},
+    {"--json", "<file>",
+     "also write one JSON object per result (JSON lines)"},
+    {"--metrics", nullptr,
+     "collect per-job counters; adds a \"metrics\" object to --json "
+     "lines"},
+    {"--trace-out", "<file>",
+     "write a Chrome trace (chrome://tracing) of per-job spans"},
+    {"--lvc-bytes", "<n>", "LVC capacity (default 65536)"},
+    {"--cvt-bits", "<n>", "CVT capacity (default 65536)"},
+    {"--max-replay-cycles", "<n>",
+     "abort a job whose replay exceeds n simulated cycles"},
+    {"--deadline-ms", "<n>",
+     "abort a job running longer than n wall-clock ms"},
+    {"--journal", "<file>",
+     "append each completed job to a crash-safe result journal "
+     "(--suite)"},
+    {"--resume", nullptr,
+     "skip jobs the journal already holds; re-run only the rest"},
+    {"--retries", "<n>",
+     "re-run watchdog/internal failures up to n more times, escalating "
+     "budgets; exhausted jobs are quarantined"},
+    {"--dry-run", nullptr,
+     "validate and print the job list (keys + sweep hash), run nothing"},
+    {"--no-replication", nullptr, "disable block replication"},
+    {"--coalescing", nullptr,
+     "enable the future-work inter-thread coalescer"},
+    {"--dump-ir", nullptr, "print the kernel IR before running"},
+    {"--verbose", nullptr, "per-component energy breakdown"},
+    {"--help", nullptr, "print this help and exit"},
+};
+
 void
 usage()
 {
+    std::printf("usage: vgiw_run --workload <suite/kernel> [options]\n"
+                "       vgiw_run --suite [options]\n"
+                "       vgiw_run --list\n"
+                "\n"
+                "options:\n");
+    for (const FlagSpec &f : kFlags) {
+        std::string left = f.name;
+        if (f.arg) {
+            left += ' ';
+            left += f.arg;
+        }
+        std::printf("  %-30s %s\n", left.c_str(), f.help);
+    }
     std::printf(
-        "usage: vgiw_run --workload <suite/kernel> [options]\n"
-        "       vgiw_run --suite [options]\n"
-        "       vgiw_run --list\n"
-        "\n"
-        "options:\n"
-        "  --arch <vgiw|fermi|sgmf|all>   core model(s) to run "
-        "(default: all)\n"
-        "  --jobs <n>                     sweep worker threads "
-        "(default: hardware concurrency)\n"
-        "  --json <file>                  also write one JSON object "
-        "per result (JSON lines)\n"
-        "  --lvc-bytes <n>                LVC capacity (default 65536)\n"
-        "  --cvt-bits <n>                 CVT capacity (default 65536)\n"
-        "  --max-replay-cycles <n>        abort a job whose replay "
-        "exceeds n simulated cycles\n"
-        "  --deadline-ms <n>              abort a job running longer "
-        "than n wall-clock ms\n"
-        "  --journal <file>               append each completed job to "
-        "a crash-safe result journal (--suite)\n"
-        "  --resume                       skip jobs the journal already "
-        "holds; re-run only the rest\n"
-        "  --retries <n>                  re-run watchdog/internal "
-        "failures up to n more times,\n"
-        "                                 escalating budgets; exhausted "
-        "jobs are quarantined\n"
-        "  --dry-run                      validate and print the job "
-        "list (keys + sweep hash), run nothing\n"
-        "  --no-replication               disable block replication\n"
-        "  --coalescing                   enable the future-work "
-        "inter-thread coalescer\n"
-        "  --dump-ir                      print the kernel IR before "
-        "running\n"
-        "  --verbose                      per-component energy "
-        "breakdown\n"
         "\n"
         "exit codes:\n"
         "  0  every requested job succeeded\n"
@@ -110,8 +158,8 @@ usage()
         "     compile error, watchdog trip, internal error)\n"
         "  4  interrupted (SIGINT/SIGTERM): drained gracefully,\n"
         "     journal flushed; resume with --journal --resume\n"
-        "  1  results could not be written to the --json path or\n"
-        "     the journal\n");
+        "  1  results could not be written to the --json path, the\n"
+        "     --trace-out path or the journal\n");
 }
 
 void
@@ -201,16 +249,30 @@ writeJson(const std::string &path, const std::vector<JobResult> &results)
     return true;
 }
 
+/** Write the collector's Chrome trace atomically; false on I/O failure. */
+bool
+writeTrace(const std::string &path, const MetricsCollector &collector)
+{
+    std::string err;
+    if (!writeFileAtomic(path, collector.chromeTraceJson(), &err)) {
+        std::fprintf(stderr, "cannot write '%s': %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string workload, arch = "all", json_path, journal_path;
+    std::string trace_path;
     VgiwConfig vcfg;
     WatchdogConfig wd;
     bool suite = false, dump_ir = false, verbose = false;
-    bool resume = false, dry_run = false;
+    bool resume = false, dry_run = false, metrics_on = false;
     unsigned jobs = 0, retries = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -236,6 +298,10 @@ main(int argc, char **argv)
             jobs = unsigned(parseCount(a, next()));
         } else if (a == "--json") {
             json_path = next();
+        } else if (a == "--metrics") {
+            metrics_on = true;
+        } else if (a == "--trace-out") {
+            trace_path = next();
         } else if (a == "--journal") {
             journal_path = next();
         } else if (a == "--resume") {
@@ -363,6 +429,13 @@ main(int argc, char **argv)
                          r.error.c_str());
         };
 
+        // --trace-out alone still needs the collector (spans); only an
+        // explicit --metrics puts counters into the JSON output.
+        MetricsCollector collector;
+        const bool collect = metrics_on || !trace_path.empty();
+        if (collect)
+            opts.metrics = &collector;
+
         ResultJournal journal;
         if (!journal_path.empty()) {
             const std::string hash =
@@ -445,8 +518,17 @@ main(int argc, char **argv)
                             ? ""
                             : "; resume with --journal --resume");
 
+        if (collect && !metrics_on) {
+            // Spans were wanted, counters were not: strip them so the
+            // --json output stays bit-identical to a metrics-free run.
+            for (auto &r : results)
+                r.metricsJson.clear();
+        }
+
         bool io_failed = false;
         if (!json_path.empty() && !writeJson(json_path, results))
+            io_failed = true;
+        if (!trace_path.empty() && !writeTrace(trace_path, collector))
             io_failed = true;
         journal.close();
         if (std::string jerr = journal.writeError(); !jerr.empty()) {
@@ -480,13 +562,31 @@ main(int argc, char **argv)
 
     int failures = 0;
     std::vector<JobResult> results;
-    for (const auto &m : makeCoreModels(cfg, arch)) {
+    const auto models = makeCoreModels(cfg, arch);
+    // Single-workload observability mirrors the suite path: one sink
+    // per core model, a "replay" span each, counters into the result
+    // only with an explicit --metrics.
+    MetricsCollector collector;
+    const bool collect = metrics_on || !trace_path.empty();
+    if (collect)
+        collector.reset(models.size());
+    size_t model_idx = 0;
+    for (const auto &m : models) {
         JobResult r;
         r.workload = w.fullName();
         r.arch = m->name();
         r.goldenPassed = true;
+        JobMetrics *jm = collect ? &collector.job(model_idx) : nullptr;
+        if (collect) {
+            collector.setLabel(model_idx,
+                               w.fullName() + "|" + m->name());
+        }
         try {
-            r.stats = m->run(*traced.traces);
+            {
+                MetricSinkScope sink(jm);
+                MetricSpan span(jm, "replay");
+                r.stats = m->run(*traced.traces);
+            }
             r.ran = true;
             printStats(r.stats, verbose);
         } catch (const WatchdogError &e) {
@@ -502,9 +602,17 @@ main(int argc, char **argv)
             std::printf("%-6s: FAILED (%s): %s\n", r.arch.c_str(),
                         simErrorKindName(e.kind()), e.what());
         }
+        if (metrics_on && jm)
+            r.metricsJson = jm->countersJson();
+        ++model_idx;
         results.push_back(std::move(r));
     }
+    bool io_failed = false;
     if (!json_path.empty() && !writeJson(json_path, results))
+        io_failed = true;
+    if (!trace_path.empty() && !writeTrace(trace_path, collector))
+        io_failed = true;
+    if (io_failed)
         return 1;
     return failures ? 3 : 0;
 }
