@@ -33,9 +33,12 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/bitops.hh"
+#include "common/json.hh"
 #include "driver/experiment_engine.hh"
 #include "workloads/workload.hh"
 
@@ -168,6 +171,38 @@ runOnce(const std::vector<SystemConfig> &configs, unsigned jobs,
     r.functionalExecutions = engine.traceCache().functionalExecutions();
     r.compilations = engine.compileCache().compilations();
     return r;
+}
+
+/**
+ * The host CPU's marketing name from /proc/cpuinfo, or "unknown" off
+ * Linux — wall-clock numbers are meaningless without knowing what
+ * silicon produced them.
+ */
+std::string
+cpuModelName()
+{
+    FILE *f = std::fopen("/proc/cpuinfo", "r");
+    if (!f)
+        return "unknown";
+    std::string model = "unknown";
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+        if (std::strncmp(line, "model name", 10) != 0)
+            continue;
+        if (const char *colon = std::strchr(line, ':')) {
+            std::string s = colon + 1;
+            while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+                s.erase(0, 1);
+            while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                                  s.back() == ' '))
+                s.pop_back();
+            if (!s.empty())
+                model = s;
+        }
+        break;
+    }
+    std::fclose(f);
+    return model;
 }
 
 } // namespace
@@ -304,6 +339,14 @@ main(int argc, char **argv)
                  "  \"repeats\": %d,\n",
                  quick ? "true" : "false", workloads, archs, cfgs.size(),
                  jobs_per_sweep, repeats);
+    // Hardware context (additive — every pre-existing field keeps its
+    // name and position): numbers from unknown silicon are noise.
+    std::fprintf(f,
+                 "  \"host\": {\"cpu_model\": \"%s\", \"cores\": %u, "
+                 "\"simd_backend\": \"%s\"},\n",
+                 vgiw::jsonEscape(cpuModelName()).c_str(),
+                 std::thread::hardware_concurrency(),
+                 vgiw::bitops::backendName());
     std::fprintf(f, "  \"runs\": [\n");
     for (size_t i = 0; i < runs.size(); ++i) {
         std::fprintf(f,

@@ -9,11 +9,11 @@
 #ifndef VGIW_COMMON_BIT_VECTOR_HH
 #define VGIW_COMMON_BIT_VECTOR_HH
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace vgiw
@@ -59,21 +59,21 @@ class BitVector
     setFirstN(size_t n)
     {
         vgiw_assert(n <= numBits_, "range ", n, " out of bounds");
-        for (size_t i = 0; i < n / 64; ++i)
-            words_[i] = ~uint64_t{0};
-        if (n % 64)
-            words_[n / 64] |= (uint64_t{1} << (n % 64)) - 1;
+        bitops::setFirstN(span(), n);
     }
 
-    void
-    reset()
-    {
-        for (auto &w : words_)
-            w = 0;
-    }
+    void reset() { bitops::clear(span()); }
 
     /** Raw 64-bit word access (the CVT delivers 64-bit words). */
     uint64_t word(size_t w) const { return words_[w]; }
+
+    /** The whole word array as a kernel-layer span. */
+    bitops::WordSpan span() { return {words_.data(), words_.size()}; }
+    bitops::ConstWordSpan
+    span() const
+    {
+        return {words_.data(), words_.size()};
+    }
 
     /**
      * Read a word and clear it, modelling the CVT's read-and-reset port
@@ -91,23 +91,9 @@ class BitVector
     void orWord(size_t w, uint64_t bits) { words_[w] |= bits; }
 
     /** Number of set bits. */
-    size_t
-    count() const
-    {
-        size_t n = 0;
-        for (auto w : words_)
-            n += std::popcount(w);
-        return n;
-    }
+    size_t count() const { return size_t(bitops::popcount(span())); }
 
-    bool
-    any() const
-    {
-        for (auto w : words_)
-            if (w)
-                return true;
-        return false;
-    }
+    bool any() const { return bitops::any(span()); }
 
     bool none() const { return !any(); }
 
@@ -115,11 +101,8 @@ class BitVector
     size_t
     findFirst() const
     {
-        for (size_t w = 0; w < words_.size(); ++w) {
-            if (words_[w])
-                return w * 64 + std::countr_zero(words_[w]);
-        }
-        return numBits_;
+        const size_t i = bitops::findFirstSet(span());
+        return i < numBits_ ? i : numBits_;
     }
 
     /** Collect the indices of all set bits in ascending order. */
@@ -129,11 +112,10 @@ class BitVector
         std::vector<uint32_t> out;
         out.reserve(count());
         for (size_t w = 0; w < words_.size(); ++w) {
-            uint64_t v = words_[w];
-            while (v) {
-                out.push_back(uint32_t(w * 64 + std::countr_zero(v)));
-                v &= v - 1;
-            }
+            uint32_t buf[64];
+            const size_t n =
+                bitops::expandWord(words_[w], uint32_t(w * 64), buf);
+            out.insert(out.end(), buf, buf + n);
         }
         return out;
     }
@@ -143,8 +125,7 @@ class BitVector
     orWith(const BitVector &o)
     {
         vgiw_assert(o.numBits_ == numBits_, "size mismatch");
-        for (size_t w = 0; w < words_.size(); ++w)
-            words_[w] |= o.words_[w];
+        bitops::orInto(span(), o.span());
     }
 
   private:

@@ -1,0 +1,40 @@
+#include "common/bitops.hh"
+
+#include <cstdlib>
+
+namespace vgiw
+{
+namespace bitops
+{
+
+namespace
+{
+
+bool
+readForceScalarEnv()
+{
+    const char *v = std::getenv("VGIW_FORCE_SCALAR_BITOPS");
+    return v && v[0] && !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
+bool
+runtimeForceScalar()
+{
+    static const bool force = readForceScalarEnv();
+    return force;
+}
+
+const char *
+backendName()
+{
+#if VGIW_BITOPS_HAVE_AVX2
+    return runtimeForceScalar() ? "scalar" : "avx2";
+#else
+    return "scalar";
+#endif
+}
+
+} // namespace bitops
+} // namespace vgiw

@@ -4,10 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
-#include <sstream>
 #include <thread>
 
-#include "common/json.hh"
 #include "common/watchdog.hh"
 
 namespace vgiw
@@ -31,6 +29,7 @@ std::vector<JobResult>
 ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
 {
     std::vector<JobResult> results(jobs.size());
+    table_.reset(jobs.size());
     if (jobs.empty())
         return results;
 
@@ -91,8 +90,11 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
                 report(i, results[i]);
         }
     }
-    if (pending.empty())
+    if (pending.empty()) {
+        for (size_t i = 0; i < results.size(); ++i)
+            table_.fill(i, results[i]);
         return results;
+    }
 
     unsigned workers = opts_.jobs ? opts_.jobs
                                   : std::thread::hardware_concurrency();
@@ -125,16 +127,18 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
                 std::lock_guard<std::mutex> lock(report_mu);
                 report(i, results[i]);
             }
+            // Decompose into the columnar table *after* the callbacks
+            // so the row (and the journal line rendered from it)
+            // records any callback-failure demotion — the line on disk
+            // must equal the line the JSON writer will emit.
+            table_.fill(i, results[i]);
             if (journal) {
-                // Journal *after* the callbacks so the entry records
-                // any callback-failure demotion — the line on disk
-                // must equal the line the JSON writer will emit.
                 JournalEntry entry;
                 entry.key = keys[i];
                 entry.ok = results[i].ok();
                 entry.golden = results[i].goldenPassed;
                 entry.quarantined = results[i].quarantined;
-                entry.jsonLine = toJsonLine(results[i]);
+                entry.jsonLine = std::string(table_.renderRow(i));
                 journal->append(entry);
             }
         }
@@ -148,6 +152,12 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
         for (unsigned t = 0; t < workers; ++t)
             pool.emplace_back(work);
         // jthreads join on scope exit.
+    }
+    // Restored and drained rows never went through the worker loop;
+    // fill them now so resultTable() covers the whole sweep.
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (!table_.filled(i))
+            table_.fill(i, results[i]);
     }
     return results;
 }
@@ -331,7 +341,9 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
             MetricSpan span(jm, "trace");
             if (inj)
                 inj->fire(FaultInjector::Point::Trace, index);
-            traced = cache_.get(job.workload, make);
+            // The jobKey rule makes custom-make labels unique, so a
+            // job's workload name determines its instance.
+            traced = cache_.get(job.workload, make, /*nameIsUnique=*/true);
         } catch (const SimError &e) {
             out.error = e.what();
             out.errorKind = e.kind();
@@ -342,6 +354,16 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
             return out;
         }
         out.goldenPassed = traced.goldenPassed;
+        if (jm && traced.traces) {
+            // Deterministic per workload (ROADMAP's trace_cache.bytes
+            // item): resident compressed footprint of this job's traces
+            // and what the raw arrays would have cost.
+            const double cb = double(traced.traces->compressedBytes());
+            const double ub = double(traced.traces->uncompressedBytes());
+            jm->set("trace_cache.bytes", cb);
+            jm->set("trace_cache.uncompressed_bytes", ub);
+            jm->set("trace_cache.compression_ratio", cb > 0 ? ub / cb : 1.0);
+        }
         if (!traced.ok()) {
             out.error = traced.error.empty() ? "functional execution failed"
                                              : traced.error;
@@ -464,74 +486,13 @@ ExperimentEngine::compareSuite(const SystemConfig &cfg)
 std::string
 ExperimentEngine::toJsonLine(const JobResult &r)
 {
-    // A restored result re-emits the journaled bytes untouched: this
-    // is what makes kill + resume bit-identical to an uninterrupted
-    // run even if the serialisation format evolves between releases.
-    if (r.restored)
-        return r.restoredJson;
-
-    std::ostringstream os;
-    os << "{\"workload\":\"" << jsonEscape(r.workload) << "\""
-       << ",\"arch\":\"" << jsonEscape(r.arch) << "\""
-       << ",\"config\":\"" << jsonEscape(r.configLabel) << "\""
-       << ",\"golden\":" << (r.goldenPassed ? "true" : "false")
-       << ",\"ok\":" << (r.ok() ? "true" : "false");
-    if (!r.error.empty())
-        os << ",\"error\":\"" << jsonEscape(r.error) << "\"";
-    // Failure-only fields: healthy lines stay byte-identical to what
-    // the engine emitted before the taxonomy existed.
-    if (r.errorKind != SimErrorKind::None)
-        os << ",\"error_kind\":\"" << simErrorKindName(r.errorKind) << "\"";
-    if (r.partial.valid)
-        os << ",\"partial_cycles\":" << r.partial.cycles
-           << ",\"partial_block_execs\":" << r.partial.dynBlockExecs
-           << ",\"partial_thread_ops\":" << r.partial.dynThreadOps;
-    // Retry bookkeeping, failures only: a healthy suite's lines stay
-    // byte-identical to the retry-free engine's output.
-    if (!r.ok()) {
-        if (r.attempts > 1)
-            os << ",\"attempts\":" << r.attempts;
-        if (r.quarantined)
-            os << ",\"quarantined\":true";
-    }
-    if (r.ran) {
-        const RunStats &s = r.stats;
-        os << ",\"supported\":" << (s.supported ? "true" : "false")
-           << ",\"cycles\":" << s.cycles
-           << ",\"config_cycles\":" << s.configCycles
-           << ",\"reconfigs\":" << s.reconfigs
-           << ",\"dyn_block_execs\":" << s.dynBlockExecs
-           << ",\"dyn_thread_ops\":" << s.dynThreadOps
-           << ",\"dyn_warp_instrs\":" << s.dynWarpInstrs
-           << ",\"rf_accesses\":" << s.rfAccesses
-           << ",\"lvc_accesses\":" << s.lvcAccesses
-           << ",\"energy_core_pj\":" << jsonNumber(s.energy.corePj())
-           << ",\"energy_die_pj\":" << jsonNumber(s.energy.diePj())
-           << ",\"energy_system_pj\":" << jsonNumber(s.energy.systemPj())
-           << ",\"l1_accesses\":" << s.l1Stats.accesses()
-           << ",\"l1_misses\":" << s.l1Stats.misses()
-           << ",\"l2_accesses\":" << s.l2Stats.accesses()
-           << ",\"l2_misses\":" << s.l2Stats.misses()
-           << ",\"lvc_misses\":" << s.lvcStats.misses()
-           << ",\"dram_accesses\":" << s.dramStats.accesses
-           << ",\"dram_row_hits\":" << s.dramStats.rowHits;
-        os << ",\"extra\":{";
-        bool first = true;
-        for (const auto &[name, value] : s.extra.entries()) {
-            if (!first)
-                os << ",";
-            first = false;
-            os << "\"" << jsonEscape(name) << "\":" << jsonNumber(value);
-        }
-        os << "}";
-    }
-    // Opt-in field: present only when a MetricsCollector ran the job,
-    // so default suite JSON stays bit-identical to the metrics-free
-    // engine (successes and failures both carry it when enabled).
-    if (!r.metricsJson.empty())
-        os << ",\"metrics\":" << r.metricsJson;
-    os << "}";
-    return os.str();
+    // Compatibility shim: decompose into a one-row table and render
+    // through the shared formatter, so a drive-by caller cannot
+    // produce bytes the journal/--json path would not.
+    ResultTable table;
+    table.reset(1);
+    table.fill(0, r);
+    return std::string(table.renderRow(0));
 }
 
 } // namespace vgiw

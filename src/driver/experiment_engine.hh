@@ -55,6 +55,7 @@
 #include "driver/fault_injector.hh"
 #include "driver/core_model.hh"
 #include "driver/result_journal.hh"
+#include "driver/result_table.hh"
 #include "driver/retry_policy.hh"
 #include "driver/run_stats.hh"
 #include "driver/runner.hh"
@@ -243,8 +244,20 @@ class ExperimentEngine
      * (architecture compile slice, kernel) pair). */
     CompileCache &compileCache() { return ccache_; }
 
+    /**
+     * The last run()'s results in columnar form — every row filled
+     * (executed, restored and drained alike), rendered lines cached
+     * for rows the journal already serialised. Valid until the next
+     * run(). This is the preferred way to serialise a sweep: rendering
+     * goes through ResultTable::renderRow, the same code path the
+     * journal used, so the artifact cannot diverge from the journal.
+     */
+    ResultTable &resultTable() { return table_; }
+
     /** Serialise one result as a JSON-lines object (no newline).
-     * Restored results re-emit their journaled bytes verbatim. */
+     * Restored results re-emit their journaled bytes verbatim.
+     * Compatibility shim over ResultTable::renderRow — one-off
+     * callers only; sweep writers should render from resultTable(). */
     static std::string toJsonLine(const JobResult &result);
 
     /**
@@ -277,6 +290,7 @@ class ExperimentEngine
     EngineOptions opts_;
     TraceCache cache_;
     CompileCache ccache_;
+    ResultTable table_;
 };
 
 } // namespace vgiw

@@ -18,10 +18,31 @@ TraceCache::keyFor(const std::string &name, const LaunchParams &launch)
 
 TraceResult
 TraceCache::get(const std::string &name,
-                const std::function<WorkloadInstance()> &make)
+                const std::function<WorkloadInstance()> &make,
+                bool nameIsUnique)
 {
-    // Building the instance is cheap relative to tracing it, and the
-    // launch parameters it carries complete the cache key.
+    // When the caller promises that the name fully determines the
+    // instance, repeat gets skip make() entirely — building a
+    // WorkloadInstance means laying out and initialising a full
+    // MemoryImage, which dominated sweep wall clock when run per job.
+    if (nameIsUnique) {
+        std::shared_future<std::shared_ptr<const Entry>> memoised;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto known = nameToKey_.find(name);
+            if (known != nameToKey_.end()) {
+                auto it = entries_.find(known->second);
+                if (it != entries_.end())
+                    memoised = it->second;
+            }
+        }
+        if (memoised.valid()) {
+            // Waits outside the lock if the first requester's
+            // functional execution is still in flight.
+            return resultFor(memoised.get());
+        }
+    }
+
     auto entry = std::make_shared<Entry>();
     entry->workload = make();
     const std::string key = keyFor(name, entry->workload.launch);
@@ -31,6 +52,8 @@ TraceCache::get(const std::string &name,
     bool miss = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        if (nameIsUnique)
+            nameToKey_.emplace(name, key);
         auto it = entries_.find(key);
         if (it == entries_.end()) {
             miss = true;
@@ -66,7 +89,8 @@ TraceCache::get(const std::string &name,
 TraceResult
 TraceCache::get(const WorkloadEntry &entry)
 {
-    return get(entry.name, entry.make);
+    // Registry entries have one fixed make per name.
+    return get(entry.name, entry.make, /*nameIsUnique=*/true);
 }
 
 TraceResult
@@ -97,6 +121,7 @@ TraceCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    nameToKey_.clear();
 }
 
 } // namespace vgiw

@@ -48,9 +48,17 @@ class TraceCache
      * Traces for the named workload; @p make is invoked to build the
      * instance (its launch geometry/parameters complete the cache key).
      * The functional execution runs at most once per key.
+     *
+     * When @p nameIsUnique is true the caller promises that, within
+     * this cache's lifetime, @p name fully determines the instance
+     * @p make builds; repeat gets for the name then skip make()
+     * entirely. The engine can promise this (its jobKey rule requires
+     * unique labels for custom makes); ad-hoc callers that reuse a
+     * name across launches must leave it false.
      */
     TraceResult get(const std::string &name,
-                    const std::function<WorkloadInstance()> &make);
+                    const std::function<WorkloadInstance()> &make,
+                    bool nameIsUnique = false);
 
     /** Convenience overload for registry entries. */
     TraceResult get(const WorkloadEntry &entry);
@@ -85,6 +93,13 @@ class TraceCache
     mutable std::mutex mu_;
     std::map<std::string, std::shared_future<std::shared_ptr<const Entry>>>
         entries_;
+    /**
+     * Memo from workload name to full cache key, so nameIsUnique gets
+     * skip make() (building a WorkloadInstance lays out a whole
+     * MemoryImage — by far the dominant per-job cost once traces are
+     * cached). Only populated and consulted for nameIsUnique calls.
+     */
+    std::map<std::string, std::string> nameToKey_;
     std::atomic<uint64_t> execs_{0};
 };
 

@@ -129,10 +129,11 @@ Interpreter::run(const Kernel &k, const LaunchParams &launch,
     const int num_threads = launch.numThreads();
     const int num_blocks = k.numBlocks();
 
-    TraceSet out;
-    out.kernel = &k;
-    out.launch = launch;
-    out.threads.resize(num_threads);
+    // Traces are built uncompressed per thread (the block-vector
+    // scheduling below interleaves threads, so streaming per-thread
+    // encoding is impossible) and encoded once at the end. The peak is
+    // transient; only the compressed TraceSet outlives this call.
+    std::vector<ThreadTrace> threads(size_t{unsigned(num_threads)});
 
     std::vector<ThreadState> state(num_threads);
     for (auto &s : state)
@@ -201,7 +202,7 @@ Interpreter::run(const Kernel &k, const LaunchParams &launch,
 
         for (uint32_t tid : tids) {
             ThreadState &ts = state[tid];
-            ThreadTrace &tr = out.threads[tid];
+            ThreadTrace &tr = threads[tid];
             const int cta = int(tid) / launch.ctaSize;
 
             if (++total_execs > opts_.maxBlockExecs) {
@@ -321,7 +322,7 @@ Interpreter::run(const Kernel &k, const LaunchParams &launch,
         }
     }
 
-    return out;
+    return TraceSet::fromThreads(&k, launch, threads);
 }
 
 } // namespace vgiw

@@ -1,0 +1,159 @@
+#include "interp/trace.hh"
+
+#include "common/logging.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+struct Tup
+{
+    int32_t block;
+    int32_t succ;
+    uint32_t nacc;
+};
+
+bool
+sameTup(const Tup &a, const Tup &b)
+{
+    return a.block == b.block && a.succ == b.succ && a.nacc == b.nacc;
+}
+
+/**
+ * Greedy exec-stream encoder: at each position prefer the longest
+ * repeat of the last 1..4 tuples (ties to the shortest distance, whose
+ * token is smallest), falling back to a literal. Loop iterations —
+ * the bulk of every trace — collapse to one run token each.
+ */
+void
+encodeExecs(const std::vector<BlockExec> &execs,
+            std::vector<uint8_t> &out)
+{
+    std::vector<Tup> tups(execs.size());
+    for (size_t i = 0; i < execs.size(); ++i) {
+        tups[i] = Tup{int32_t(execs[i].block), int32_t(execs[i].succ),
+                      execs[i].accessEnd - execs[i].accessBegin};
+    }
+
+    int32_t prev_block = 0;
+    size_t i = 0;
+    while (i < tups.size()) {
+        size_t best_len = 0;
+        uint32_t best_dist = 0;
+        for (uint32_t dist = 1; dist <= 4 && dist <= i; ++dist) {
+            size_t len = 0;
+            while (i + len < tups.size() &&
+                   sameTup(tups[i + len], tups[i + len - dist]))
+                ++len;
+            if (len > best_len) {
+                best_len = len;
+                best_dist = dist;
+            }
+        }
+        if (best_len >= 2) {
+            varint::append(out, ((uint64_t(best_len) << 2 |
+                                  uint64_t(best_dist - 1))
+                                 << 1) |
+                                    1);
+            i += best_len;
+        } else {
+            const Tup &t = tups[i];
+            varint::append(
+                out, varint::zigzag(int64_t(t.block) - prev_block) << 1);
+            varint::append(out,
+                           varint::zigzag(int64_t(t.succ) - t.block));
+            varint::append(out, t.nacc);
+            ++i;
+        }
+        prev_block = tups[i - 1].block;
+    }
+}
+
+void
+encodeAccesses(const std::vector<MemAccess> &accesses,
+               std::vector<uint8_t> &out)
+{
+    uint32_t prev[2] = {0, 0};
+    for (const MemAccess &a : accesses) {
+        const int chain = a.isShared ? 1 : 0;
+        const int64_t delta = int64_t(a.addr) - int64_t(prev[chain]);
+        prev[chain] = a.addr;
+        varint::append(out, varint::zigzag(delta) << 2 |
+                                uint64_t(a.isShared) << 1 |
+                                uint64_t(a.isStore));
+    }
+}
+
+} // namespace
+
+TraceSet
+TraceSet::fromThreads(const Kernel *kernel, const LaunchParams &launch,
+                      const std::vector<ThreadTrace> &threads)
+{
+    TraceSet ts;
+    ts.kernel = kernel;
+    ts.launch = launch;
+    ts.index_.resize(threads.size());
+    for (size_t tid = 0; tid < threads.size(); ++tid) {
+        const ThreadTrace &t = threads[tid];
+        ThreadIndex &ix = ts.index_[tid];
+        ix.execOff = ts.execBytes_.size();
+        ix.accessOff = ts.accessBytes_.size();
+        ix.numExecs = uint32_t(t.execs.size());
+        ix.numAccesses = uint32_t(t.accesses.size());
+        encodeExecs(t.execs, ts.execBytes_);
+        encodeAccesses(t.accesses, ts.accessBytes_);
+        ts.totalExecs_ += t.execs.size();
+        ts.totalAccesses_ += t.accesses.size();
+    }
+    ts.execBytes_.shrink_to_fit();
+    ts.accessBytes_.shrink_to_fit();
+    return ts;
+}
+
+ThreadTrace
+TraceSet::decodeThread(uint32_t tid) const
+{
+    ThreadTrace out;
+    const ThreadIndex &ix = index_[tid];
+    out.execs.reserve(ix.numExecs);
+    out.accesses.reserve(ix.numAccesses);
+    ThreadCursor c = thread(tid);
+    uint32_t cum = 0;
+    while (!c.done()) {
+        BlockExec e;
+        e.block = uint16_t(c.block());
+        e.succ = int16_t(c.succ());
+        e.accessBegin = cum;
+        cum += c.numAccesses();
+        e.accessEnd = cum;
+        for (uint32_t k = 0; k < e.accessEnd - e.accessBegin; ++k)
+            out.accesses.push_back(c.nextAccess());
+        out.execs.push_back(e);
+        c.nextExec();
+    }
+    return out;
+}
+
+uint64_t
+TraceSet::blockExecCount(int b) const
+{
+    // Walks the exec streams only: the two streams are independent, so
+    // counting block executions never has to decode a single access.
+    uint64_t n = 0;
+    for (size_t tid = 0; tid < index_.size(); ++tid) {
+        ThreadCursor c(execBytes_.data() + index_[tid].execOff, nullptr,
+                       index_[tid].numExecs);
+        while (!c.done()) {
+            if (c.block() == b)
+                ++n;
+            c.accLeft_ = 0;  // exec-only walk: never touch the
+            c.nextExec();    // (null) access stream
+        }
+    }
+    return n;
+}
+
+} // namespace vgiw

@@ -6,6 +6,33 @@
  * blocks it executed and the memory accesses each execution issued. All
  * three timing models (VGIW, Fermi-SIMT, SGMF) replay these traces, which
  * guarantees that the architectures are compared on bit-identical work.
+ *
+ * Storage is compressed: TraceCache keeps every traced workload of a
+ * sweep resident, and raw BlockExec/MemAccess arrays made the cache the
+ * dominant memory consumer. Traces are therefore held as per-thread
+ * delta-varint byte streams with an LZ-style run code for the loop
+ * repetition that dominates real control flow, and the replay models
+ * read them through forward-only ThreadCursor decoders — replay order
+ * is strictly sequential per thread in all three models, so nothing
+ * ever needs random access.
+ *
+ * Encoded format (per thread, two independent streams):
+ *
+ *  - exec stream: a sequence of tokens, one varint-led token per block
+ *    execution. A LITERAL token is `zigzag(block - prevBlock) << 1 | 0`
+ *    followed by `zigzag(succ - block)` and `numAccesses` varints. A
+ *    RUN token is `((len << 2) | (dist - 1)) << 1 | 1` and copies `len`
+ *    whole (block, succ, numAccesses) tuples from `dist` (1..4) tuples
+ *    back, with periodic extension (len may exceed dist) — this captures
+ *    straight-line loop bodies of up to four blocks as one or two bytes
+ *    per iteration. `prevBlock` is the previously decoded tuple's block
+ *    (0 initially).
+ *
+ *  - access stream: one varint per access,
+ *    `zigzag(addr - prevAddr[isShared]) << 2 | isShared << 1 | isStore`,
+ *    with separate previous-address chains for shared and global space
+ *    (both 0 initially) so strided global streams are not disturbed by
+ *    interleaved scratchpad traffic.
  */
 
 #ifndef VGIW_INTERP_TRACE_HH
@@ -14,6 +41,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/varint.hh"
 #include "ir/kernel.hh"
 
 namespace vgiw
@@ -36,7 +64,7 @@ struct BlockExec
     uint32_t accessEnd = 0;
 };
 
-/** The full dynamic trace of one thread. */
+/** The full dynamic trace of one thread, materialised. */
 struct ThreadTrace
 {
     std::vector<BlockExec> execs;
@@ -44,49 +72,206 @@ struct ThreadTrace
 };
 
 /**
- * Traces for every thread of a launch, plus launch metadata.
+ * Forward-only decoder over one thread's compressed trace. The replay
+ * models hold one cursor per thread: the current block execution is
+ * exposed through block()/succ()/numAccesses(), its accesses are pulled
+ * with nextAccess(), and nextExec() advances to the next execution
+ * (skipping any accesses the caller did not consume, so the delta
+ * chains stay in sync). Cheap to copy; ~100 bytes of state.
+ */
+class ThreadCursor
+{
+  public:
+    ThreadCursor() = default;
+
+    /** True when every block execution has been consumed. */
+    bool done() const { return !hasCur_; }
+
+    /** Current execution's block id. */
+    int block() const { return int(cur_.block); }
+
+    /** Current execution's successor block id (-1 = thread exit). */
+    int succ() const { return int(cur_.succ); }
+
+    /** Accesses the current execution issues. */
+    uint32_t numAccesses() const { return cur_.nacc; }
+
+    /** Decode the next access of the current execution. */
+    MemAccess
+    nextAccess()
+    {
+        const uint64_t v = varint::decode(ap_);
+        MemAccess a;
+        a.isStore = v & 1;
+        a.isShared = (v >> 1) & 1;
+        uint32_t &prev = prevAddr_[a.isShared ? 1 : 0];
+        prev = uint32_t(int64_t(prev) + varint::unzigzag(v >> 2));
+        a.addr = prev;
+        --accLeft_;
+        return a;
+    }
+
+    /** Advance to the next block execution (or done()). */
+    void
+    nextExec()
+    {
+        while (accLeft_)
+            nextAccess();
+        if (execsLeft_) {
+            --execsLeft_;
+            decodeExec();
+        } else {
+            hasCur_ = false;
+        }
+    }
+
+  private:
+    friend class TraceSet;
+
+    struct Tup
+    {
+        int32_t block = 0;
+        int32_t succ = 0;
+        uint32_t nacc = 0;
+    };
+
+    ThreadCursor(const uint8_t *exec, const uint8_t *acc,
+                 uint32_t num_execs)
+        : ep_(exec), ap_(acc), execsLeft_(num_execs)
+    {
+        if (execsLeft_) {
+            --execsLeft_;
+            decodeExec();
+            hasCur_ = true;
+        }
+    }
+
+    void
+    decodeExec()
+    {
+        if (runLeft_) {
+            --runLeft_;
+            cur_ = ring_[(ringPos_ + 4 - runDist_) & 3];
+        } else {
+            uint64_t v = varint::decode(ep_);
+            if (v & 1) {
+                v >>= 1;
+                runDist_ = uint32_t(v & 3) + 1;
+                runLeft_ = uint32_t(v >> 2) - 1;
+                cur_ = ring_[(ringPos_ + 4 - runDist_) & 3];
+            } else {
+                cur_.block =
+                    prevBlock_ + int32_t(varint::unzigzag(v >> 1));
+                cur_.succ = cur_.block +
+                            int32_t(varint::unzigzag(varint::decode(ep_)));
+                cur_.nacc = uint32_t(varint::decode(ep_));
+            }
+        }
+        ring_[ringPos_] = cur_;
+        ringPos_ = (ringPos_ + 1) & 3;
+        prevBlock_ = cur_.block;
+        accLeft_ = cur_.nacc;
+    }
+
+    const uint8_t *ep_ = nullptr;  ///< exec stream read position
+    const uint8_t *ap_ = nullptr;  ///< access stream read position
+    uint32_t execsLeft_ = 0;       ///< execs not yet decoded
+    bool hasCur_ = false;
+    Tup cur_;
+    uint32_t accLeft_ = 0;         ///< undecoded accesses of cur_
+    int32_t prevBlock_ = 0;
+    uint32_t prevAddr_[2] = {0, 0};  ///< [global, shared] delta chains
+    Tup ring_[4];                  ///< last 4 decoded tuples (run window)
+    uint32_t ringPos_ = 0;
+    uint32_t runLeft_ = 0;
+    uint32_t runDist_ = 0;
+};
+
+/**
+ * Compressed traces for every thread of a launch, plus launch metadata.
  *
  * @warning TraceSet borrows the kernel: the Kernel object passed to
  * Interpreter::run() (e.g. the WorkloadInstance that owns it) must
  * outlive every use of the traces by the core models.
  */
-struct TraceSet
+class TraceSet
 {
+  public:
     const Kernel *kernel = nullptr;
     LaunchParams launch;
-    std::vector<ThreadTrace> threads;
+
+    TraceSet() = default;
+
+    /**
+     * Encode materialised per-thread traces. The accesses of each
+     * thread must appear in execution order with each exec's
+     * [accessBegin, accessEnd) ranges contiguous — which is how the
+     * functional executor lays them out.
+     */
+    static TraceSet fromThreads(const Kernel *kernel,
+                                const LaunchParams &launch,
+                                const std::vector<ThreadTrace> &threads);
+
+    size_t numThreads() const { return index_.size(); }
+
+    /** A fresh decode cursor over thread @p tid's trace. */
+    ThreadCursor
+    thread(uint32_t tid) const
+    {
+        const ThreadIndex &ix = index_[tid];
+        return ThreadCursor(execBytes_.data() + ix.execOff,
+                            accessBytes_.data() + ix.accessOff,
+                            ix.numExecs);
+    }
+
+    uint32_t numExecs(uint32_t tid) const { return index_[tid].numExecs; }
+    uint32_t
+    numAccesses(uint32_t tid) const
+    {
+        return index_[tid].numAccesses;
+    }
+
+    /** Materialise one thread's full trace (tests / inspection). */
+    ThreadTrace decodeThread(uint32_t tid) const;
 
     /** Total dynamic block executions over all threads. */
-    uint64_t
-    totalBlockExecs() const
-    {
-        uint64_t n = 0;
-        for (const auto &t : threads)
-            n += t.execs.size();
-        return n;
-    }
+    uint64_t totalBlockExecs() const { return totalExecs_; }
 
     /** Total dynamic memory accesses over all threads. */
-    uint64_t
-    totalAccesses() const
-    {
-        uint64_t n = 0;
-        for (const auto &t : threads)
-            n += t.accesses.size();
-        return n;
-    }
+    uint64_t totalAccesses() const { return totalAccesses_; }
 
     /** Dynamic executions of block @p b summed over threads. */
-    uint64_t
-    blockExecCount(int b) const
+    uint64_t blockExecCount(int b) const;
+
+    /** Resident size of the encoded streams. */
+    size_t
+    compressedBytes() const
     {
-        uint64_t n = 0;
-        for (const auto &t : threads)
-            for (const auto &e : t.execs)
-                if (e.block == b)
-                    ++n;
-        return n;
+        return execBytes_.size() + accessBytes_.size();
     }
+
+    /** What the raw BlockExec/MemAccess arrays would occupy. */
+    uint64_t
+    uncompressedBytes() const
+    {
+        return totalExecs_ * sizeof(BlockExec) +
+               totalAccesses_ * sizeof(MemAccess);
+    }
+
+  private:
+    struct ThreadIndex
+    {
+        uint64_t execOff = 0;    ///< offset into execBytes_
+        uint64_t accessOff = 0;  ///< offset into accessBytes_
+        uint32_t numExecs = 0;
+        uint32_t numAccesses = 0;
+    };
+
+    std::vector<uint8_t> execBytes_;
+    std::vector<uint8_t> accessBytes_;
+    std::vector<ThreadIndex> index_;
+    uint64_t totalExecs_ = 0;
+    uint64_t totalAccesses_ = 0;
 };
 
 } // namespace vgiw

@@ -166,6 +166,10 @@ SgmfCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     uint64_t injections = 0;
     uint64_t miss_latency = 0;
     uint64_t shared_accesses = 0;
+    // Accumulated locally, published to rs only after the loop: the
+    // watchdog polls rs.dynThreadOps and must keep seeing the replay
+    // phase's value (0) exactly as before the loops were fused.
+    uint64_t thread_ops = 0;
 
     // Livelock containment: the injection loop is not cycle-stepped,
     // so the cycle ceiling is checked against the issue-cycle proxy
@@ -174,30 +178,39 @@ SgmfCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     if (cfg_.watchdog.enabled())
         wd.emplace(cfg_.watchdog, "sgmf replay of '" + k.name + "'");
 
-    for (const auto &tr : traces.threads) {
+    for (uint32_t tid = 0; tid < traces.numThreads(); ++tid) {
         if (wd) {
             wd->poll(injections / uint64_t(replicas), rs.dynBlockExecs,
                      rs.dynThreadOps);
         }
         // One injection to enter the graph, plus one per back-edge
-        // traversal (token recirculation for loop iterations).
+        // traversal (token recirculation for loop iterations). Memory:
+        // only the taken path's accesses issue (predication). A single
+        // cursor pass covers both — exec bookkeeping touches no memory
+        // state, so fusing the loops preserves the access stream order.
         injections += 1;
-        for (const auto &ex : tr.execs) {
-            if (ex.succ >= 0 && ex.succ <= ex.block)
+        for (ThreadCursor c = traces.thread(tid); !c.done();
+             c.nextExec()) {
+            if (c.succ() >= 0 && c.succ() <= c.block())
                 injections += 1;
             ++rs.dynBlockExecs;
-        }
-        // Memory: only the taken path's accesses issue (predication).
-        for (const auto &acc : tr.accesses) {
-            if (acc.isShared) {
-                shared_model.access((acc.addr / 4) % 32, acc.addr / 4);
-                ++shared_accesses;
-                continue;
+            thread_ops += ck->blockOps[c.block()];
+            const uint32_t nacc = c.numAccesses();
+            for (uint32_t a = 0; a < nacc; ++a) {
+                const MemAccess acc = c.nextAccess();
+                if (acc.isShared) {
+                    shared_model.access((acc.addr / 4) % 32,
+                                        acc.addr / 4);
+                    ++shared_accesses;
+                    continue;
+                }
+                const MemAccessResult r =
+                    ms.access(acc.addr, acc.isStore);
+                bank_model.access(ms.l1().bankOf(acc.addr),
+                                  acc.addr / 128);
+                if (r.servicedBy != MemLevel::L1)
+                    miss_latency += r.latency;
             }
-            const MemAccessResult r = ms.access(acc.addr, acc.isStore);
-            bank_model.access(ms.l1().bankOf(acc.addr), acc.addr / 128);
-            if (r.servicedBy != MemLevel::L1)
-                miss_latency += r.latency;
         }
     }
 
@@ -236,10 +249,7 @@ SgmfCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     rs.energy.add(EnergyComponent::Dram,
                   ms.dram().stats().accesses * e.dramAccessLine);
 
-    rs.dynThreadOps = 0;
-    for (const auto &tr : traces.threads)
-        for (const auto &ex : tr.execs)
-            rs.dynThreadOps += ck->blockOps[ex.block];
+    rs.dynThreadOps = thread_ops;
 
     rs.l1Stats = ms.l1().stats();
     rs.l2Stats = ms.l2().stats();

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "ir/post_dominators.hh"
@@ -27,9 +28,6 @@ struct Warp
     std::array<int, 32> tids{};  ///< global tid per lane, -1 = none
     SimtStack stack{0, 0};
     size_t instrIdx = 0;
-    /** Per-lane cursor into the thread's access array for the block in
-     * flight; valid while instrIdx > 0 or block started. */
-    std::array<uint32_t, 32> accessCursor{};
     bool blockStarted = false;
     uint64_t readyAt = 0;
     bool atBarrier = false;
@@ -123,8 +121,12 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     const PostDominators &pd = ck->pd;
     MemorySystem ms(fermiL1Geometry());
 
-    // Per-thread pointer into its trace.
-    std::vector<uint32_t> exec_ptr(size_t(num_threads), 0);
+    // One forward-only decode cursor per thread: block entry peeks the
+    // current exec, memory instructions pull its accesses lane by lane,
+    // and the terminator advances it.
+    std::vector<ThreadCursor> cursor(size_t{unsigned(num_threads)});
+    for (int t = 0; t < num_threads; ++t)
+        cursor[size_t(t)] = traces.thread(uint32_t(t));
 
     // Build warps. CTAs are scheduled in order under the residency
     // limits; warps of resident CTAs interleave on the issue port.
@@ -279,19 +281,19 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
         const uint32_t mask = warp.stack.activeMask();
         const int active = warp.stack.activeLanes();
 
-        // On block entry, bind each active lane to its next trace exec.
+        // On block entry, check each active lane sits on its next trace
+        // exec; the per-thread cursors already point at its accesses.
         if (!warp.blockStarted) {
             for (int lane = 0; lane < 32; ++lane) {
                 if (!((mask >> lane) & 1))
                     continue;
                 const int tid = warp.tids[lane];
-                const ThreadTrace &tr = traces.threads[tid];
-                vgiw_assert(exec_ptr[tid] < tr.execs.size(),
+                vgiw_assert(!cursor[size_t(tid)].done(),
                             "trace underrun (SIMT replay diverged)");
-                const BlockExec &ex = tr.execs[exec_ptr[tid]];
-                vgiw_assert(ex.block == b, "SIMT replay off-trace: warp ",
-                            pick, " block ", b, " trace ", ex.block);
-                warp.accessCursor[lane] = ex.accessBegin;
+                vgiw_assert(cursor[size_t(tid)].block() == b,
+                            "SIMT replay off-trace: warp ", pick,
+                            " block ", b, " trace ",
+                            cursor[size_t(tid)].block());
             }
             warp.blockStarted = true;
             warp.instrIdx = 0;
@@ -326,9 +328,8 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
                         if (!((mask >> lane) & 1))
                             continue;
                         const int tid = warp.tids[lane];
-                        const MemAccess &acc =
-                            traces.threads[tid]
-                                .accesses[warp.accessCursor[lane]++];
+                        const MemAccess acc =
+                            cursor[size_t(tid)].nextAccess();
                         ++bank[(acc.addr / 4) % 32];
                         ++shared_accesses;
                     }
@@ -351,19 +352,11 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
                         if (!((mask >> lane) & 1))
                             continue;
                         const int tid = warp.tids[lane];
-                        const MemAccess &acc =
-                            traces.threads[tid]
-                                .accesses[warp.accessCursor[lane]++];
-                        const uint32_t line = acc.addr / 128;
-                        int pos = 0;
-                        while (pos < num_lines && lines[pos] < line)
-                            ++pos;
-                        if (pos == num_lines || lines[pos] != line) {
-                            for (int j = num_lines; j > pos; --j)
-                                lines[j] = lines[j - 1];
-                            lines[pos] = line;
-                            ++num_lines;
-                        }
+                        const MemAccess acc =
+                            cursor[size_t(tid)].nextAccess();
+                        num_lines = int(bitops::insertSortedUnique(
+                            lines.data(), size_t(num_lines),
+                            acc.addr / 128));
                     }
                     uint32_t max_lat = 0;
                     for (int i = 0; i < num_lines; ++i) {
@@ -427,10 +420,11 @@ FermiCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
             if (!((mask >> lane) & 1))
                 continue;
             const int tid = warp.tids[lane];
-            const BlockExec &ex =
-                traces.threads[tid].execs[exec_ptr[tid]++];
+            ThreadCursor &c = cursor[size_t(tid)];
+            const int succ = c.succ();
+            c.nextExec();
             lane_succ[lane] =
-                ex.succ < 0 ? SimtStack::kLaneExit : int(ex.succ);
+                succ < 0 ? SimtStack::kLaneExit : succ;
         }
         rs.dynBlockExecs += uint64_t(active);
 

@@ -1,7 +1,6 @@
 #include "vgiw/control_vector_table.hh"
 
-#include <bit>
-
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace vgiw
@@ -15,6 +14,7 @@ ControlVectorTable::ControlVectorTable(int num_blocks, int tile_size,
     vectors_.reserve(size_t(num_blocks));
     for (int b = 0; b < num_blocks; ++b)
         vectors_.emplace_back(size_t(tile_size));
+    drainBuf_.resize(size_t(tile_size + 63) / 64 * 64);
 }
 
 void
@@ -77,15 +77,8 @@ ControlVectorTable::drainInto(int block, std::vector<uint32_t> &out)
 {
     vgiw_assert(block >= 0 && block < numBlocks(), "bad block ", block);
     BitVector &v = vectors_[block];
-    out.clear();
-    for (size_t w = 0; w < v.numWords(); ++w) {
-        uint64_t bits = v.readAndResetWord(w);
-        while (bits) {
-            out.push_back(uint32_t(w * 64) +
-                          uint32_t(std::countr_zero(bits)));
-            bits &= bits - 1;
-        }
-    }
+    const size_t n = bitops::drainToIndices(v.span(), drainBuf_.data());
+    out.assign(drainBuf_.data(), drainBuf_.data() + n);
     stats_.wordReads += v.numWords();
 }
 

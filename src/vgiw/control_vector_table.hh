@@ -80,6 +80,7 @@ class ControlVectorTable
     int tileSize_;
     int banks_;
     std::vector<BitVector> vectors_;
+    std::vector<uint32_t> drainBuf_;  ///< scratch for drainToIndices
     CvtStats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "vgiw/thread_batch.hh"
 
+#include "common/bitops.hh"
+
 namespace vgiw
 {
 
@@ -16,13 +18,10 @@ packBatchesInto(const std::vector<uint32_t> &tids,
                 std::vector<ThreadBatch> &out)
 {
     out.clear();
-    for (uint32_t tid : tids) {
-        const uint32_t base = tid & ~63u;
-        if (out.empty() || out.back().base != base) {
-            out.push_back(ThreadBatch{base, 0});
-        }
-        out.back().bitmap |= uint64_t{1} << (tid & 63u);
-    }
+    bitops::foreachAlignedWindow(
+        tids.data(), tids.size(), [&out](uint32_t base, uint64_t bitmap) {
+            out.push_back(ThreadBatch{base, bitmap});
+        });
 }
 
 } // namespace vgiw

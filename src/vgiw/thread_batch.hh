@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitops.hh"
+
 namespace vgiw
 {
 
@@ -29,12 +31,8 @@ struct ThreadBatch
     std::vector<uint32_t>
     threadIds() const
     {
-        std::vector<uint32_t> out;
-        uint64_t v = bitmap;
-        while (v) {
-            out.push_back(base + uint32_t(__builtin_ctzll(v)));
-            v &= v - 1;
-        }
+        std::vector<uint32_t> out(size_t{unsigned(count())});
+        bitops::expandWord(bitmap, base, out.data());
         return out;
     }
 };

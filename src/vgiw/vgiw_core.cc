@@ -179,7 +179,11 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
     const EnergyTable &e = cfg_.energy;
     const int reconfig_cost = reconfigCycles(cfg_.grid.numUnits());
 
-    std::vector<uint32_t> exec_ptr(size_t(num_threads), 0);
+    // One forward-only decode cursor per thread; the BBS consumes each
+    // thread's trace strictly in order, one block execution per drain.
+    std::vector<ThreadCursor> cursor(size_t{unsigned(num_threads)});
+    for (int t = 0; t < num_threads; ++t)
+        cursor[size_t(t)] = traces.thread(uint32_t(t));
     BankMergeModel l1_banks_model(l1_banks);
     BankMergeModel shared_banks_model(32);
 
@@ -297,16 +301,15 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
 
             for (uint32_t rel : rel_tids) {
                 const uint32_t gtid = uint32_t(tile_start) + rel;
-                const ThreadTrace &tr = traces.threads[gtid];
-                vgiw_assert(exec_ptr[gtid] < tr.execs.size(),
-                            "trace underrun");
-                const BlockExec &ex = tr.execs[exec_ptr[gtid]++];
-                vgiw_assert(ex.block == b, "trace/schedule divergence");
+                ThreadCursor &cur = cursor[gtid];
+                vgiw_assert(!cur.done(), "trace underrun");
+                vgiw_assert(cur.block() == b, "trace/schedule divergence");
 
                 // Global/shared memory accesses (word granularity; the
                 // VGIW LDST units do not coalesce).
-                for (uint32_t a = ex.accessBegin; a < ex.accessEnd; ++a) {
-                    const MemAccess &acc = tr.accesses[a];
+                const uint32_t nacc = cur.numAccesses();
+                for (uint32_t a = 0; a < nacc; ++a) {
+                    const MemAccess acc = cur.nextAccess();
                     if (acc.isShared) {
                         shared_banks_model.access((acc.addr / 4) % 32,
                                                   acc.addr / 4);
@@ -346,7 +349,8 @@ VgiwCore::run(const TraceSet &traces, const CompiledKernel &compiled) const
                 }
 
                 // Successor registration via the terminator CVU.
-                const int succ = ex.succ;
+                const int succ = cur.succ();
+                cur.nextExec();
                 const int cta = int(rel) / launch.ctaSize;
                 if (succ < 0) {
                     --live_in_cta[cta];

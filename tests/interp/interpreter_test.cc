@@ -181,7 +181,7 @@ TEST(Interpreter, Fig1DivergentPathsComputeCorrectly)
 
     // Each thread executed exactly 3 blocks: BB1, one of {BB2, BB3+BB4/5}.
     for (int i = 0; i < n; ++i) {
-        const auto &execs = ts.threads[i].execs;
+        const auto execs = ts.decodeThread(uint32_t(i)).execs;
         EXPECT_EQ(execs.front().block, 0u);
         EXPECT_EQ(execs.back().block, 5u);
         EXPECT_EQ(execs.back().succ, -1);
@@ -210,7 +210,7 @@ TEST(Interpreter, LoopExecutesNTimes)
 
     // Trace shape: entry + (head+body)*trips + head + done.
     for (int t = 0; t < n_threads; ++t)
-        EXPECT_EQ(ts.threads[t].execs.size(), size_t(2 * trips + 3));
+        EXPECT_EQ(ts.numExecs(uint32_t(t)), uint32_t(2 * trips + 3));
 }
 
 TEST(Interpreter, BarrierSharedMemoryReversal)
@@ -253,7 +253,7 @@ TEST(Interpreter, TracesRecordMemoryAccesses)
 
     // Every thread: 1 load in BB1, 1 store in BB2/4/5, 1 store in BB6.
     for (int t = 0; t < 8; ++t) {
-        const auto &tr = ts.threads[t];
+        const ThreadTrace tr = ts.decodeThread(uint32_t(t));
         ASSERT_EQ(tr.accesses.size(), 3u);
         EXPECT_FALSE(tr.accesses[0].isStore);
         EXPECT_EQ(tr.accesses[0].addr, in + 4u * t);

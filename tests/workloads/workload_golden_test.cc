@@ -29,9 +29,13 @@ TEST_P(GoldenTest, FunctionalExecutionMatchesNativeReference)
     const TraceSet &traces = *traced.traces;
     EXPECT_GT(traces.totalBlockExecs(), 0u);
     // Every thread ran to completion.
-    for (const auto &t : traces.threads) {
-        ASSERT_FALSE(t.execs.empty());
-        EXPECT_EQ(t.execs.back().succ, -1);
+    for (uint32_t tid = 0; tid < traces.numThreads(); ++tid) {
+        ASSERT_GT(traces.numExecs(tid), 0u);
+        ThreadCursor c = traces.thread(tid);
+        int last_succ = 0;
+        for (; !c.done(); c.nextExec())
+            last_succ = c.succ();
+        EXPECT_EQ(last_succ, -1);
     }
 }
 

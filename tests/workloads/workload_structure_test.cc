@@ -56,9 +56,9 @@ TEST(WorkloadStructure, DivergentKernelsActuallyDiverge)
         TraceResult traced = runner.trace(w);
         const TraceSet &t = *traced.traces;
         bool divergent = false;
-        const size_t len0 = t.threads[0].execs.size();
-        for (const auto &tr : t.threads)
-            divergent |= tr.execs.size() != len0;
+        const uint32_t len0 = t.numExecs(0);
+        for (uint32_t tid = 0; tid < t.numThreads(); ++tid)
+            divergent |= t.numExecs(tid) != len0;
         EXPECT_TRUE(divergent) << name;
     }
 }

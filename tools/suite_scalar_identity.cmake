@@ -1,0 +1,33 @@
+# Backend bit-identity acceptance: the full-suite --json artifact must
+# be byte-for-byte identical whether the bitmap kernels run on the
+# configured (possibly AVX2) backend or on the scalar reference forced
+# via VGIW_FORCE_SCALAR_BITOPS=1. In a scalar-only build both runs use
+# the scalar kernels and the check pins CLI-level determinism instead.
+#
+# Inputs: -DBIN=<vgiw_run> -DWORKDIR=<scratch dir>
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(DEFAULT_JSON ${WORKDIR}/suite_default.jsonl)
+set(SCALAR_JSON ${WORKDIR}/suite_scalar.jsonl)
+
+execute_process(COMMAND ${BIN} --suite --json ${DEFAULT_JSON}
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "default-backend suite run failed (exit ${rc})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env VGIW_FORCE_SCALAR_BITOPS=1
+                        ${BIN} --suite --json ${SCALAR_JSON}
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "forced-scalar suite run failed (exit ${rc})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${DEFAULT_JSON} ${SCALAR_JSON}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "forced-scalar suite JSON differs from the default backend: "
+            "${DEFAULT_JSON} vs ${SCALAR_JSON}")
+endif()

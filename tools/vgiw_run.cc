@@ -68,6 +68,7 @@
 #include "common/watchdog.hh"
 #include "driver/experiment_engine.hh"
 #include "driver/result_journal.hh"
+#include "driver/result_table.hh"
 #include "ir/printer.hh"
 #include "workloads/workload.hh"
 
@@ -226,27 +227,47 @@ parseCount(const std::string &opt, const char *value)
 }
 
 /**
- * Write results as JSON lines via temp-file + atomic rename: a crash
- * mid-write can never leave a truncated or half-valid artifact at the
- * --json path. Jobs drained by an interrupt are omitted — they have no
- * result; a resume will produce them. Returns false on I/O failure.
+ * Write a result table as JSON lines via temp-file + atomic rename: a
+ * crash mid-write can never leave a truncated or half-valid artifact
+ * at the --json path. Jobs drained by an interrupt are omitted — they
+ * have no result; a resume will produce them. Rendering goes through
+ * ResultTable::renderRow, the same formatter the journal used, so
+ * rows the journal already serialised are served from the render
+ * cache instead of being formatted a second time. Returns false on
+ * I/O failure.
  */
 bool
-writeJson(const std::string &path, const std::vector<JobResult> &results)
+writeJson(const std::string &path, ResultTable &table)
 {
-    std::ostringstream os;
-    for (const auto &r : results) {
-        if (r.drained)
-            continue;
-        os << ExperimentEngine::toJsonLine(r) << "\n";
-    }
+    struct LineSink : ResultSink
+    {
+        std::string out;
+        void row(size_t, std::string_view jsonLine) override
+        {
+            out.append(jsonLine);
+            out.push_back('\n');
+        }
+    } sink;
+    table.renderInto(sink);
     std::string err;
-    if (!writeFileAtomic(path, os.str(), &err)) {
+    if (!writeFileAtomic(path, sink.out, &err)) {
         std::fprintf(stderr, "cannot write '%s': %s\n", path.c_str(),
                      err.c_str());
         return false;
     }
     return true;
+}
+
+/** writeJson for callers holding plain JobResults (the single-workload
+ * path): decompose into a local table and render identically. */
+bool
+writeJson(const std::string &path, const std::vector<JobResult> &results)
+{
+    ResultTable table;
+    table.reset(results.size());
+    for (size_t i = 0; i < results.size(); ++i)
+        table.fill(i, results[i]);
+    return writeJson(path, table);
 }
 
 /** Write the collector's Chrome trace atomically; false on I/O failure. */
@@ -521,12 +542,19 @@ main(int argc, char **argv)
         if (collect && !metrics_on) {
             // Spans were wanted, counters were not: strip them so the
             // --json output stays bit-identical to a metrics-free run.
-            for (auto &r : results)
-                r.metricsJson.clear();
+            // Re-fill the engine's table rows so the render reflects
+            // the strip; the journal keeps the metrics it recorded.
+            // Restored rows still re-emit their journaled bytes
+            // verbatim, exactly as before.
+            for (size_t i = 0; i < results.size(); ++i) {
+                results[i].metricsJson.clear();
+                engine.resultTable().fill(i, results[i]);
+            }
         }
 
         bool io_failed = false;
-        if (!json_path.empty() && !writeJson(json_path, results))
+        if (!json_path.empty() &&
+            !writeJson(json_path, engine.resultTable()))
             io_failed = true;
         if (!trace_path.empty() && !writeTrace(trace_path, collector))
             io_failed = true;
