@@ -294,8 +294,8 @@ equal(ConstWordSpan a, ConstWordSpan b)
             reinterpret_cast<const __m256i *>(a.data + i));
         const __m256i y = _mm256_loadu_si256(
             reinterpret_cast<const __m256i *>(b.data + i));
-        if (!_mm256_testz_si256(_mm256_xor_si256(x, y),
-                                _mm256_xor_si256(x, y)))
+        const __m256i d = _mm256_xor_si256(x, y);
+        if (!_mm256_testz_si256(d, d))
             return false;
     }
     for (; i < a.words; ++i)

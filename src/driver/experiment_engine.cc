@@ -30,6 +30,10 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
 {
     std::vector<JobResult> results(jobs.size());
     table_.reset(jobs.size());
+    // Labels are only unique within one sweep, so the name->instance
+    // memo from a previous run() on this engine must not leak into
+    // this one (traces stay cached under their full launch keys).
+    cache_.resetNameMemo();
     if (jobs.empty())
         return results;
 

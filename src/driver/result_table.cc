@@ -61,8 +61,7 @@ ResultTable::reset(size_t rows)
     std::lock_guard<std::mutex> lock(mu_);
     chunks_.clear();
     chunkUsed_ = 0;
-    arenaBytes_ = 0;
-    extraPool_.clear();
+    arenaBytes_.store(0, std::memory_order_relaxed);
 
     flags_.assign(rows, 0);
     errorKind_.assign(rows, uint8_t(SimErrorKind::None));
@@ -77,7 +76,7 @@ ResultTable::reset(size_t rows)
     partialBlockExecs_.assign(rows, 0);
     partialThreadOps_.assign(rows, 0);
     stats_.assign(rows, StatRow{});
-    extras_.assign(rows, {0, 0});
+    extras_.assign(rows, {});
     rendered_.assign(rows, std::string());
     renderValid_.assign(rows, 0);
 }
@@ -87,7 +86,7 @@ ResultTable::intern(std::string_view s)
 {
     if (s.empty())
         return Ref{};
-    arenaBytes_ += s.size();
+    arenaBytes_.fetch_add(s.size(), std::memory_order_relaxed);
     if (s.size() > kChunkBytes) {
         // Oversized field (a long restored line, a big metrics blob):
         // give it a dedicated chunk and retire it immediately so the
@@ -136,11 +135,14 @@ ResultTable::fill(size_t index, const JobResult &r)
         error_[index] = intern(r.error);
         restoredJson_[index] = intern(r.restoredJson);
         metricsJson_[index] = intern(r.metricsJson);
+        // Row-owned extras (not a shared pool): renderRow() on another
+        // row must stay safe while this fill() is appending.
         const auto &entries = r.stats.extra.entries();
-        extras_[index] = {uint32_t(extraPool_.size()),
-                          uint32_t(entries.size())};
+        auto &extras = extras_[index];
+        extras.clear();
+        extras.reserve(entries.size());
         for (const auto &[name, value] : entries)
-            extraPool_.emplace_back(intern(name), value);
+            extras.emplace_back(intern(name), value);
     }
 
     errorKind_[index] = uint8_t(r.errorKind);
@@ -271,9 +273,9 @@ ResultTable::renderRow(size_t index)
         appendU64Field(out, "dram_accesses", s.dramAccesses);
         appendU64Field(out, "dram_row_hits", s.dramRowHits);
         out += ",\"extra\":{";
-        const auto [off, count] = extras_[index];
-        for (uint32_t e = 0; e < count; ++e) {
-            const auto &[name, value] = extraPool_[off + e];
+        const auto &extras = extras_[index];
+        for (size_t e = 0; e < extras.size(); ++e) {
+            const auto &[name, value] = extras[e];
             if (e)
                 out += ',';
             out += '"';
@@ -309,7 +311,7 @@ ResultTable::renderInto(ResultSink &sink)
 size_t
 ResultTable::arenaBytes() const
 {
-    return arenaBytes_;
+    return arenaBytes_.load(std::memory_order_relaxed);
 }
 
 } // namespace vgiw

@@ -25,14 +25,16 @@
  * Thread-safety: reset() is exclusive; fill() may be called
  * concurrently for distinct rows (arena appends are mutex-guarded,
  * column slots are pre-sized); renderRow()/renderInto() for a row are
- * safe once that row's fill() has returned.
+ * safe once that row's fill() has returned, including while other
+ * rows are still being filled — a row's render reads only its own
+ * column slots and row-owned extras, never a shared growable pool.
  */
 
 #ifndef VGIW_DRIVER_RESULT_TABLE_HH
 #define VGIW_DRIVER_RESULT_TABLE_HH
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -132,12 +134,12 @@ class ResultTable
 
     Ref intern(std::string_view s);  ///< caller holds mu_
 
-    std::mutex mu_;  ///< guards arena chunks and the extras pool
+    std::mutex mu_;  ///< guards the arena chunks
     /** Chunked arena: chunks never move, so Refs stay valid across
      * concurrent fills — the property vector<char> cannot give. */
     std::vector<std::unique_ptr<char[]>> chunks_;
     size_t chunkUsed_ = 0;
-    size_t arenaBytes_ = 0;
+    std::atomic<size_t> arenaBytes_{0};
 
     // One entry per row, pre-sized by reset().
     std::vector<uint8_t> flags_;
@@ -148,9 +150,10 @@ class ResultTable
     std::vector<uint64_t> partialCycles_, partialBlockExecs_,
         partialThreadOps_;
     std::vector<StatRow> stats_;
-    /** Extras pool: deque keeps references stable under growth. */
-    std::deque<std::pair<Ref, double>> extraPool_;
-    std::vector<std::pair<uint32_t, uint32_t>> extras_;  ///< (off, count)
+    /** Per-row extras: a row's vector is written only by its fill()er
+     * and read only by its renderer, so rendering one row never
+     * touches state another row's concurrent fill mutates. */
+    std::vector<std::vector<std::pair<Ref, double>>> extras_;
     /** Render cache; renderRow returns views into these. */
     std::vector<std::string> rendered_;
     std::vector<uint8_t> renderValid_;

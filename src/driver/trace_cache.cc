@@ -53,7 +53,7 @@ TraceCache::get(const std::string &name,
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (nameIsUnique)
-            nameToKey_.emplace(name, key);
+            nameToKey_.insert_or_assign(name, key);
         auto it = entries_.find(key);
         if (it == entries_.end()) {
             miss = true;
@@ -121,6 +121,13 @@ TraceCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    nameToKey_.clear();
+}
+
+void
+TraceCache::resetNameMemo()
+{
+    std::lock_guard<std::mutex> lock(mu_);
     nameToKey_.clear();
 }
 

@@ -49,12 +49,13 @@ class TraceCache
      * instance (its launch geometry/parameters complete the cache key).
      * The functional execution runs at most once per key.
      *
-     * When @p nameIsUnique is true the caller promises that, within
-     * this cache's lifetime, @p name fully determines the instance
-     * @p make builds; repeat gets for the name then skip make()
-     * entirely. The engine can promise this (its jobKey rule requires
-     * unique labels for custom makes); ad-hoc callers that reuse a
-     * name across launches must leave it false.
+     * When @p nameIsUnique is true the caller promises that, until the
+     * next resetNameMemo()/clear(), @p name fully determines the
+     * instance @p make builds; repeat gets for the name then skip
+     * make() entirely. The engine can promise this per sweep (its
+     * jobKey rule requires unique labels for custom makes within one
+     * run) and resets the memo at the start of each run; ad-hoc
+     * callers that reuse a name across launches must leave it false.
      */
     TraceResult get(const std::string &name,
                     const std::function<WorkloadInstance()> &make,
@@ -79,6 +80,16 @@ class TraceCache
 
     /** Drop all entries; outstanding TraceResults remain valid. */
     void clear();
+
+    /**
+     * Forget the name->key memo while keeping the traces. The
+     * nameIsUnique promise only holds within one sweep (labels are
+     * unique per run, not per cache lifetime), so the engine calls
+     * this at the start of each run(); a re-used label then rebuilds
+     * its instance and is matched to cached traces by the full
+     * launch-derived key, never by the stale name alone.
+     */
+    void resetNameMemo();
 
   private:
     /** Owns everything a cached TraceResult points into. */

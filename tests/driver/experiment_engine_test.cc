@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 
 #include "driver/experiment_engine.hh"
+#include "driver/result_journal.hh"
 #include "power/energy_model.hh"
 #include "workloads/workload.hh"
 
@@ -186,6 +188,54 @@ TEST(ExperimentEngine, CompareSuiteMatchesSerialRunner)
                            suite[i].workload);
         expectBitIdentical(suite[i].sgmf, direct.sgmf, suite[i].workload);
     }
+}
+
+TEST(ExperimentEngine, JournaledParallelSweepRendersRowsRaceFree)
+{
+    // Regression test for a data race: with a journal attached, each
+    // worker renders its own row for the journal line while other
+    // workers are still filling theirs (interning strings and
+    // appending stats extras). Row rendering must read only row-owned
+    // state — under TSan this test is the canary; everywhere it also
+    // pins journal lines == table renders.
+    std::vector<ExperimentJob> jobs;
+    for (const char *w : {"NN/euclid", "BFS/Kernel", "GE/Fan1",
+                          "KMEANS/invert_mapping"}) {
+        // All three archs so every row carries arch-specific extras.
+        for (const char *arch : {"vgiw", "fermi", "sgmf"}) {
+            ExperimentJob j;
+            j.workload = w;
+            j.arch = arch;
+            jobs.push_back(j);
+        }
+    }
+    const std::string path =
+        ::testing::TempDir() + "vgiw_engine_journal_race.jsonl";
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+    const std::string hash = ExperimentEngine::sweepHash(jobs);
+
+    ResultJournal journal;
+    ASSERT_TRUE(journal.create(path, hash));
+    EngineOptions opts{4};
+    opts.journal = &journal;
+    ExperimentEngine engine(opts);
+    auto results = engine.run(jobs);
+    journal.close();
+    ASSERT_EQ(results.size(), jobs.size());
+
+    // The line journaled mid-sweep must equal the row the table
+    // renders at rest: one formatter, no divergence.
+    ResultJournal readback;
+    ASSERT_TRUE(readback.openForResume(path, hash));
+    ASSERT_EQ(readback.entries().size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto it = readback.entries().find(ExperimentEngine::jobKey(jobs[i]));
+        ASSERT_NE(it, readback.entries().end()) << jobs[i].workload;
+        EXPECT_EQ(it->second.jsonLine, engine.resultTable().renderRow(i))
+            << jobs[i].workload << "/" << jobs[i].arch;
+    }
+    std::remove(path.c_str());
 }
 
 TEST(ExperimentEngine, JsonLineIsWellFormedPerResult)

@@ -135,6 +135,43 @@ TEST(TraceCache, DistinctLaunchParamsAreDistinctKeys)
     EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(TraceCache, NameMemoResetRekeysReusedNames)
+{
+    // The nameIsUnique promise only holds within one sweep: the engine
+    // resets the memo between run()s, after which a reused label must
+    // rebuild its instance and be matched by the full launch key — not
+    // silently served the previous sweep's instance.
+    TraceCache cache;
+    const auto &entry = entryFor("NN/euclid");
+    TraceResult first = cache.get(entry.name, entry.make, true);
+    auto halved = [&entry]() {
+        WorkloadInstance w = entry.make();
+        w.launch.numCtas = std::max(1, w.launch.numCtas / 2);
+        w.check = nullptr;  // reference covers the full launch only
+        return w;
+    };
+
+    // Within a sweep the memo is authoritative by contract: make() is
+    // skipped and the memoised instance comes back.
+    TraceResult memoised = cache.get(entry.name, halved, true);
+    EXPECT_EQ(memoised.traces.get(), first.traces.get());
+    EXPECT_EQ(cache.functionalExecutions(), 1u);
+
+    // After the between-sweeps reset, the same call rebuilds and lands
+    // on its own (distinct) launch key.
+    cache.resetNameMemo();
+    TraceResult fresh = cache.get(entry.name, halved, true);
+    EXPECT_NE(fresh.traces.get(), first.traces.get());
+    EXPECT_EQ(cache.functionalExecutions(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Traces cached under their full keys survive the memo reset.
+    cache.resetNameMemo();
+    TraceResult again = cache.get(entry.name, entry.make, true);
+    EXPECT_EQ(again.traces.get(), first.traces.get());
+    EXPECT_EQ(cache.functionalExecutions(), 2u);
+}
+
 TEST(TraceCache, GoldenFailureIsCachedNotRethrown)
 {
     TraceCache cache;
