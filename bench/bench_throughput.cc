@@ -16,13 +16,23 @@
  *
  *   bench_throughput [--quick] [--repeats N] [--configs N] [--jobs N]
  *                    [--out FILE] [--metrics-overhead]
+ *                    [--overhead-bound PCT]
  *
  * --metrics-overhead additionally times the same sweep with a
  * MetricsCollector attached and reports the instrumentation cost as a
  * percentage — the observability layer's contract is that the enabled
- * path stays under 2% of sweep wall clock (and the disabled path is
- * free). The extra fields appear in the JSON only in that mode, so the
- * default BENCH_throughput.json schema is unchanged.
+ * path stays under --overhead-bound (default 2%) of sweep wall clock
+ * (and the disabled path is free). Both legs are best-of-N and the
+ * bound applies to the *signed* overhead only when it is positive: a
+ * negative number just means run-to-run noise exceeded the real cost,
+ * which is not a contract violation. The extra fields appear in the
+ * JSON only in that mode, so the default schema is unchanged.
+ *
+ * The harness also times the artifact-store warm path: a cold sweep
+ * against a scratch --artifact-dir-style store (publishing every trace
+ * and compiled kernel), then warm sweeps that must report zero
+ * functional executions and zero compilations. The cold/warm wall
+ * clocks and the warm speedup are pinned in the JSON.
  */
 
 #include <algorithm>
@@ -36,9 +46,12 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "bench_util.hh"
 #include "common/bitops.hh"
 #include "common/json.hh"
+#include "driver/artifact_store.hh"
 #include "driver/experiment_engine.hh"
 #include "workloads/workload.hh"
 
@@ -142,7 +155,8 @@ sweepConfigs(int points)
 
 RepeatResult
 runOnce(const std::vector<SystemConfig> &configs, unsigned jobs,
-        MetricsCollector *metrics = nullptr)
+        MetricsCollector *metrics = nullptr,
+        ArtifactStore *store = nullptr)
 {
     std::vector<ExperimentJob> all;
     for (size_t c = 0; c < configs.size(); ++c) {
@@ -154,6 +168,7 @@ runOnce(const std::vector<SystemConfig> &configs, unsigned jobs,
 
     EngineOptions opts{jobs};
     opts.metrics = metrics;
+    opts.artifactStore = store;
     ExperimentEngine engine{opts};
     const uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
     const uint64_t b0 = g_alloc_bytes.load(std::memory_order_relaxed);
@@ -216,6 +231,7 @@ main(int argc, char **argv)
     std::string out_path = "BENCH_throughput.json";
     bool quick = false;
     bool metrics_overhead = false;
+    double overhead_bound = 2.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -238,12 +254,14 @@ main(int argc, char **argv)
             out_path = next();
         } else if (a == "--metrics-overhead") {
             metrics_overhead = true;
+        } else if (a == "--overhead-bound") {
+            overhead_bound = std::atof(next());
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             std::fprintf(stderr,
                          "usage: bench_throughput [--quick] [--repeats N] "
                          "[--configs N] [--jobs N] [--out FILE] "
-                         "[--metrics-overhead]\n");
+                         "[--metrics-overhead] [--overhead-bound PCT]\n");
             return 2;
         }
     }
@@ -318,9 +336,86 @@ main(int argc, char **argv)
         }
         overhead_pct = 100.0 * (metrics_best - best) / best;
         std::printf("  metrics best %9.1f ms | overhead %+.2f%% "
-                    "(contract: < 2%%)\n",
-                    metrics_best, overhead_pct);
+                    "(contract: < %.1f%% when positive)\n",
+                    metrics_best, overhead_pct, overhead_bound);
+        // Both legs are best-of-N, so residual noise can make the
+        // signed overhead negative — that is not a violation. Only a
+        // positive overhead beyond the bound breaks the contract.
+        if (overhead_pct > overhead_bound) {
+            std::fprintf(stderr,
+                         "FAILED: metrics overhead %+.2f%% exceeds the "
+                         "%.1f%% bound\n",
+                         overhead_pct, overhead_bound);
+            return 1;
+        }
     }
+
+    // ------------------------------------------------------------------
+    // Artifact-store phases: publish everything once (cold), then time
+    // sweeps that mmap traces and compiled kernels back (warm). Warm
+    // legs must do zero functional executions and zero compilations —
+    // that is the store's contract, asserted here, not just reported.
+    // ------------------------------------------------------------------
+    const std::string store_dir = out_path + ".artifacts.tmp";
+    std::error_code scratch_ec;
+    std::filesystem::remove_all(store_dir, scratch_ec);
+    double cold_wall = 0.0, warm_best = 0.0;
+    uint64_t warm_execs = 0, warm_comps = 0;
+    uint64_t warm_hits = 0, warm_bytes = 0;
+    {
+        std::printf("\n  artifact-store phases (cold publish, then warm "
+                    "mmap):\n");
+        ArtifactStore cold_store;
+        std::string err;
+        if (!cold_store.open(store_dir, &err)) {
+            std::fprintf(stderr, "FAILED: artifact store: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        RepeatResult cold = runOnce(cfgs, jobs, nullptr, &cold_store);
+        cold_wall = cold.wallMs;
+        std::printf("  cold:   %9.1f ms (traced %llu, compiled %llu, "
+                    "store populated)\n",
+                    cold.wallMs,
+                    (unsigned long long)cold.functionalExecutions,
+                    (unsigned long long)cold.compilations);
+        if (cold.jobsOk != jobs_per_sweep) {
+            std::fprintf(stderr, "FAILED: cold store sweep lost jobs\n");
+            return 1;
+        }
+        for (int rep = 0; rep < repeats; ++rep) {
+            ArtifactStore warm_store;
+            if (!warm_store.open(store_dir, &err)) {
+                std::fprintf(stderr, "FAILED: artifact store: %s\n",
+                             err.c_str());
+                return 1;
+            }
+            RepeatResult w = runOnce(cfgs, jobs, nullptr, &warm_store);
+            std::printf("  warm %d: %9.1f ms, %llu functional "
+                        "executions, %llu compilations\n",
+                        rep, w.wallMs,
+                        (unsigned long long)w.functionalExecutions,
+                        (unsigned long long)w.compilations);
+            if (w.jobsOk != jobs_per_sweep ||
+                w.functionalExecutions != 0 || w.compilations != 0) {
+                std::fprintf(stderr,
+                             "FAILED: warm sweep was not fully served "
+                             "from the store\n");
+                return 1;
+            }
+            if (rep == 0 || w.wallMs < warm_best) {
+                warm_best = w.wallMs;
+                warm_hits = warm_store.hits();
+                warm_bytes = warm_store.bytesMapped();
+            }
+            warm_execs += w.functionalExecutions;
+            warm_comps += w.compilations;
+        }
+        std::printf("  warm best %9.1f ms | %.2fx vs cold | %.2fx vs "
+                    "best plain sweep\n",
+                    warm_best, cold_wall / warm_best, best / warm_best);
+    }
+    std::filesystem::remove_all(store_dir, scratch_ec);
 
     FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f) {
@@ -340,13 +435,17 @@ main(int argc, char **argv)
                  quick ? "true" : "false", workloads, archs, cfgs.size(),
                  jobs_per_sweep, repeats);
     // Hardware context (additive — every pre-existing field keeps its
-    // name and position): numbers from unknown silicon are noise.
+    // name and position): numbers from unknown silicon are noise. The
+    // host core count and the engine's actual worker count are distinct
+    // facts (--jobs can pin the latter), so both are recorded.
     std::fprintf(f,
                  "  \"host\": {\"cpu_model\": \"%s\", \"cores\": %u, "
-                 "\"simd_backend\": \"%s\"},\n",
+                 "\"simd_backend\": \"%s\"},\n"
+                 "  \"engine_workers\": %u,\n",
                  vgiw::jsonEscape(cpuModelName()).c_str(),
                  std::thread::hardware_concurrency(),
-                 vgiw::bitops::backendName());
+                 vgiw::bitops::backendName(),
+                 jobs ? jobs : std::thread::hardware_concurrency());
     std::fprintf(f, "  \"runs\": [\n");
     for (size_t i = 0; i < runs.size(); ++i) {
         std::fprintf(f,
@@ -365,8 +464,18 @@ main(int argc, char **argv)
                  "  \"best_wall_ms\": %.3f,\n"
                  "  \"mean_wall_ms\": %.3f,\n"
                  "  \"sweeps_per_sec\": %.4f,\n"
-                 "  \"jobs_per_sec\": %.1f",
-                 best, mean, sweeps_per_sec, jobs_per_sec);
+                 "  \"jobs_per_sec\": %.1f,\n"
+                 "  \"artifact_store\": {\"cold_wall_ms\": %.3f, "
+                 "\"warm_best_wall_ms\": %.3f, \"warm_speedup\": %.3f, "
+                 "\"warm_functional_executions\": %llu, "
+                 "\"warm_compilations\": %llu, \"warm_hits\": %llu, "
+                 "\"warm_bytes_mapped\": %llu}",
+                 best, mean, sweeps_per_sec, jobs_per_sec, cold_wall,
+                 warm_best, cold_wall / warm_best,
+                 (unsigned long long)warm_execs,
+                 (unsigned long long)warm_comps,
+                 (unsigned long long)warm_hits,
+                 (unsigned long long)warm_bytes);
     if (metrics_overhead) {
         // Only in --metrics-overhead runs: the tracked trajectory file
         // keeps its schema.

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Wire codec for placement results (PlacedBlock / PlacedKernel), shared
+ * by the VGIW and SGMF compiled-artifact serializers. Fixed-width
+ * little-endian fields through the artifact store's bounds-checked
+ * ByteWriter/ByteReader; any truncation surfaces through reader.ok()
+ * and the caller demotes the artifact to a cache miss.
+ */
+
+#ifndef VGIW_CGRF_PLACED_SERDE_HH
+#define VGIW_CGRF_PLACED_SERDE_HH
+
+#include "cgrf/placer.hh"
+#include "driver/artifact_store.hh"
+
+namespace vgiw
+{
+
+inline void
+writeUnitCounts(ByteWriter &w, const UnitCounts &u)
+{
+    for (int v : u)
+        w.i32(v);
+}
+
+inline void
+readUnitCounts(ByteReader &r, UnitCounts &u)
+{
+    for (int &v : u)
+        v = r.i32();
+}
+
+inline void
+writePlacedBlock(ByteWriter &w, const PlacedBlock &b)
+{
+    w.u8(b.fits ? 1 : 0);
+    w.i32(b.replicas);
+    writeUnitCounts(w, b.needsPerReplica);
+    w.i32(b.nodesPerReplica);
+    w.i32(b.criticalPathCycles);
+    w.i32(b.edgeHopsPerThread);
+    w.i32(b.edgesPerThread);
+    w.i32(b.unitsUsed);
+}
+
+inline void
+readPlacedBlock(ByteReader &r, PlacedBlock &b)
+{
+    b.fits = r.u8() != 0;
+    b.replicas = r.i32();
+    readUnitCounts(r, b.needsPerReplica);
+    b.nodesPerReplica = r.i32();
+    b.criticalPathCycles = r.i32();
+    b.edgeHopsPerThread = r.i32();
+    b.edgesPerThread = r.i32();
+    b.unitsUsed = r.i32();
+}
+
+inline void
+writePlacedKernel(ByteWriter &w, const PlacedKernel &k)
+{
+    w.u8(k.fits ? 1 : 0);
+    w.u64(k.blocks.size());
+    for (const PlacedBlock &b : k.blocks)
+        writePlacedBlock(w, b);
+    w.i32(k.unitsUsed);
+    writeUnitCounts(w, k.totalNeeds);
+}
+
+/** False when the block count is implausible for @p r's remainder. */
+inline bool
+readPlacedKernel(ByteReader &r, PlacedKernel &k)
+{
+    k.fits = r.u8() != 0;
+    const uint64_t n = r.u64();
+    // Each block occupies ≥ 1 byte on the wire; anything larger is a
+    // corrupt count and would otherwise turn into a huge allocation.
+    if (!r.ok() || n > r.remaining())
+        return false;
+    k.blocks.resize(size_t(n));
+    for (PlacedBlock &b : k.blocks)
+        readPlacedBlock(r, b);
+    k.unitsUsed = r.i32();
+    readUnitCounts(r, k.totalNeeds);
+    return r.ok();
+}
+
+} // namespace vgiw
+
+#endif // VGIW_CGRF_PLACED_SERDE_HH

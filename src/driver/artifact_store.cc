@@ -1,0 +1,199 @@
+#include "driver/artifact_store.hh"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/atomic_file.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+/**
+ * On-disk blob header, 32 bytes, followed by the key (zero-padded to a
+ * multiple of 8 so the payload starts 8-aligned within the mapping —
+ * the trace deserialiser reads fixed-width fields in place).
+ */
+struct BlobHeader
+{
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    uint64_t payloadLen = 0;
+    uint64_t payloadHash = 0;
+    uint32_t keyLen = 0;
+    uint32_t pad = 0;
+};
+static_assert(sizeof(BlobHeader) == 32, "blob header layout is pinned");
+
+constexpr uint32_t kMagic = 0x53414756u;  // "VGAS" little-endian
+
+size_t
+pad8(size_t n)
+{
+    return (n + 7) & ~size_t(7);
+}
+
+/** An mmap'd file; unmapped when the last shared_ptr drops. */
+struct Mapping
+{
+    const void *base = nullptr;
+    size_t len = 0;
+
+    ~Mapping()
+    {
+        if (base)
+            ::munmap(const_cast<void *>(base), len);
+    }
+};
+
+bool
+makeDir(const std::string &path, std::string *error)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return true;
+    if (error)
+        *error = "mkdir '" + path + "' failed: " + std::strerror(errno);
+    return false;
+}
+
+} // namespace
+
+bool
+ArtifactStore::open(const std::string &dir, std::string *error)
+{
+    std::string objects = dir + "/objects";
+    if (!makeDir(dir, error) || !makeDir(objects, error)) {
+        dir_.clear();
+        objectsDir_.clear();
+        return false;
+    }
+    // Probe writability now so a read-only store fails at configuration
+    // time (exit 2 territory) instead of silently caching nothing.
+    const std::string probe = objects + "/.probe";
+    if (::access(objects.c_str(), W_OK) != 0) {
+        if (error)
+            *error = "store directory '" + objects +
+                     "' is not writable: " + std::strerror(errno);
+        dir_.clear();
+        objectsDir_.clear();
+        return false;
+    }
+    (void)probe;
+    dir_ = dir;
+    objectsDir_ = std::move(objects);
+    return true;
+}
+
+std::string
+ArtifactStore::objectPath(const std::string &kind,
+                          const std::string &key) const
+{
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  (unsigned long long)fnv1a(key));
+    return objectsDir_ + "/" + hex + "." + kind;
+}
+
+bool
+ArtifactStore::load(const std::string &kind, const std::string &key,
+                    Blob *out)
+{
+    if (!isOpen())
+        return false;
+    const std::string path = objectPath(kind, key);
+
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < off_t(sizeof(BlobHeader))) {
+        ::close(fd);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    const size_t len = size_t(st.st_size);
+    void *base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping outlives the descriptor
+    if (base == MAP_FAILED) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    auto mapping = std::make_shared<Mapping>();
+    mapping->base = base;
+    mapping->len = len;
+
+    // Validate everything before handing out a single payload byte:
+    // magic, format version, key echo, exact length, payload checksum.
+    // Each rejection is a miss — the caller recomputes and republishes.
+    BlobHeader h;
+    std::memcpy(&h, base, sizeof h);
+    const auto *bytes = static_cast<const uint8_t *>(base);
+    const size_t key_span = pad8(h.keyLen);
+    bool valid = h.magic == kMagic && h.version == kFormatVersion &&
+                 h.keyLen == key.size() &&
+                 len >= sizeof h + key_span &&
+                 len == sizeof h + key_span + h.payloadLen;
+    if (valid &&
+        std::memcmp(bytes + sizeof h, key.data(), key.size()) != 0)
+        valid = false;
+    const uint8_t *payload = bytes + sizeof h + key_span;
+    if (valid && fnv1aBytes(payload, h.payloadLen) != h.payloadHash)
+        valid = false;
+    if (!valid) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    bytesMapped_.fetch_add(h.payloadLen, std::memory_order_relaxed);
+    if (out) {
+        out->backing = std::shared_ptr<const void>(mapping, base);
+        out->payload = payload;
+        out->size = size_t(h.payloadLen);
+    }
+    return true;
+}
+
+bool
+ArtifactStore::publish(const std::string &kind, const std::string &key,
+                       std::string_view payload, std::string *error)
+{
+    if (!isOpen())
+        return false;
+
+    BlobHeader h;
+    h.magic = kMagic;
+    h.version = kFormatVersion;
+    h.payloadLen = payload.size();
+    h.payloadHash = fnv1aBytes(payload.data(), payload.size());
+    h.keyLen = uint32_t(key.size());
+
+    std::string blob;
+    blob.reserve(sizeof h + pad8(key.size()) + payload.size());
+    blob.append(reinterpret_cast<const char *>(&h), sizeof h);
+    blob.append(key);
+    blob.append(pad8(key.size()) - key.size(), '\0');
+    blob.append(payload.data(), payload.size());
+
+    // Atomic temp+rename publication: a concurrent publisher of the
+    // same key (another worker process) races benignly — both blobs
+    // are byte-identical by construction and readers never see a torn
+    // file.
+    return writeFileAtomic(objectPath(kind, key), blob, error);
+}
+
+} // namespace vgiw

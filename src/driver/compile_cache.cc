@@ -1,15 +1,32 @@
 #include "driver/compile_cache.hh"
 
+#include <cstdio>
 #include <exception>
+#include <string_view>
 
 #include "common/logging.hh"
+#include "driver/artifact_store.hh"
 
 namespace vgiw
 {
 
+namespace
+{
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)v);
+    return buf;
+}
+
+} // namespace
+
 std::shared_ptr<const CompiledKernel>
 CompileCache::get(const CoreModel &model, const std::string &kernelKey,
-                  const std::shared_ptr<const TraceSet> &traces)
+                  const std::shared_ptr<const TraceSet> &traces,
+                  FetchInfo *info)
 {
     vgiw_assert(traces && traces->kernel, "CompileCache needs traces");
     const std::string key = model.compileKey() + "||" + kernelKey;
@@ -30,6 +47,39 @@ CompileCache::get(const CoreModel &model, const std::string &kernelKey,
     }
 
     if (miss) {
+        // Content-addressed warm path: the store key pins the kernel
+        // by IR content hash (carried on the traces by the trace
+        // cache) plus the compile-relevant configuration slice. No
+        // hash — traces not produced under a store — means no lookup.
+        std::string store_key, store_kind;
+        if (store_ && traces->contentHash) {
+            store_key = "ck|" + hex64(traces->contentHash) + "|" +
+                        model.compileKey();
+            store_kind = model.name() + ".ck";
+            ArtifactStore::Blob blob;
+            if (store_->load(store_kind, store_key, &blob)) {
+                auto art = model.deserializeArtifact(std::string_view(
+                    reinterpret_cast<const char *>(blob.payload),
+                    blob.size));
+                if (art) {
+                    // Deserializers copy out of the mapping, so the
+                    // blob backing can drop here.
+                    auto entry = std::make_shared<Entry>();
+                    entry->traces = traces;
+                    entry->compiled = std::move(art);
+                    entry->fetch.storeBacked = true;
+                    entry->fetch.mappedBytes = blob.size;
+                    promise.set_value(entry);
+                    if (info)
+                        *info = entry->fetch;
+                    return entry->compiled;
+                }
+                // Undeserializable blob (corrupt or version-skewed
+                // payload): fall through and recompile — the publish
+                // below overwrites it with a fresh artifact.
+            }
+        }
+
         // Compile outside the lock: other keys (and other requesters of
         // this key, via the future) are not serialised behind it.
         comps_.fetch_add(1);
@@ -37,7 +87,17 @@ CompileCache::get(const CoreModel &model, const std::string &kernelKey,
             auto entry = std::make_shared<Entry>();
             entry->traces = traces;
             entry->compiled = model.compile(*traces->kernel);
+            if (!store_key.empty()) {
+                const std::string bytes =
+                    model.serializeArtifact(*entry->compiled);
+                // Publish failures are non-fatal (the store is a
+                // cache); models that don't serialize return empty.
+                if (!bytes.empty())
+                    store_->publish(store_kind, store_key, bytes);
+            }
             promise.set_value(entry);
+            if (info)
+                *info = entry->fetch;
             return entry->compiled;
         } catch (...) {
             // Every requester of this key sees the compile failure.
@@ -45,7 +105,10 @@ CompileCache::get(const CoreModel &model, const std::string &kernelKey,
             throw;
         }
     }
-    return future.get()->compiled;
+    const std::shared_ptr<const Entry> entry = future.get();
+    if (info)
+        *info = entry->fetch;
+    return entry->compiled;
 }
 
 size_t

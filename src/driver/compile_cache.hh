@@ -39,21 +39,45 @@
 namespace vgiw
 {
 
+class ArtifactStore;
+
 /** Memoising, thread-safe front-end to CoreModel::compile(). */
 class CompileCache
 {
   public:
+    /**
+     * Attach a persistent artifact store (nullptr detaches). With a
+     * store attached, a cache miss whose traces carry an IR content
+     * hash first tries to rehydrate a serialized artifact — keyed by
+     * the content hash plus model.compileKey(), stored under the kind
+     * "<arch>.ck" — and a fresh compilation publishes its artifact. A
+     * store hit does NOT count as a compilation. Call before the first
+     * get(); the pointer must outlive the cache.
+     */
+    void setStore(ArtifactStore *store) { store_ = store; }
+
+    /** Where a get() artifact came from (per-job metrics provenance).
+     * Shared by every requester of the key, so the values are
+     * deterministic functions of the job, not of scheduling. */
+    struct FetchInfo
+    {
+        bool storeBacked = false;  ///< rehydrated from the store
+        uint64_t mappedBytes = 0;  ///< blob payload size when backed
+    };
+
     /**
      * Compile artifact for @p model applied to @p traces->kernel. The
      * full key is model.compileKey() + @p kernelKey, where @p kernelKey
      * identifies the kernel instance (use TraceCache::keyFor so trace
      * and compile entries share the same kernel identity). Compilation
      * runs at most once per key; a compile failure throws for every
-     * requester of the key.
+     * requester of the key. @p info, when non-null, receives the
+     * artifact's provenance.
      */
     std::shared_ptr<const CompiledKernel>
     get(const CoreModel &model, const std::string &kernelKey,
-        const std::shared_ptr<const TraceSet> &traces);
+        const std::shared_ptr<const TraceSet> &traces,
+        FetchInfo *info = nullptr);
 
     /** Number of compilations performed (cache misses). */
     uint64_t compilations() const { return comps_.load(); }
@@ -70,12 +94,14 @@ class CompileCache
     {
         std::shared_ptr<const TraceSet> traces;  ///< keeps Kernel alive
         std::shared_ptr<const CompiledKernel> compiled;
+        FetchInfo fetch;  ///< provenance, shared by all requesters
     };
 
     mutable std::mutex mu_;
     std::map<std::string, std::shared_future<std::shared_ptr<const Entry>>>
         entries_;
     std::atomic<uint64_t> comps_{0};
+    ArtifactStore *store_ = nullptr;
 };
 
 } // namespace vgiw

@@ -123,6 +123,35 @@ class CoreModel
     {
         return run(traces, *compile(*traces.kernel));
     }
+
+    /**
+     * Serialize @p compiled into a persistable byte string, the inverse
+     * of deserializeArtifact(). An empty return means "this model does
+     * not persist artifacts" and the artifact store skips it. The bytes
+     * are only ever interpreted by a model with the same name() — and,
+     * through the store key, the same compileKey() and kernel content
+     * hash — so the payload needs no self-description beyond its
+     * leading per-arch version word.
+     */
+    virtual std::string
+    serializeArtifact(const CompiledKernel &compiled) const
+    {
+        (void)compiled;
+        return {};
+    }
+
+    /**
+     * Reconstruct a compile() artifact from serializeArtifact() bytes.
+     * Returns nullptr on any malformed input (truncation, version skew,
+     * impossible field values) — the caller treats that as a cache miss
+     * and recompiles; it must never throw on bad bytes.
+     */
+    virtual std::shared_ptr<const CompiledKernel>
+    deserializeArtifact(std::string_view bytes) const
+    {
+        (void)bytes;
+        return nullptr;
+    }
 };
 
 /** The architecture names every sweep understands, in report order. */

@@ -34,6 +34,11 @@ ExperimentEngine::run(const std::vector<ExperimentJob> &jobs)
     // memo from a previous run() on this engine must not leak into
     // this one (traces stay cached under their full launch keys).
     cache_.resetNameMemo();
+    // Mount the persistent artifact store (if any) under both sweep
+    // caches: traces and compiled artifacts are then satisfied by mmap
+    // when a previous run published them.
+    cache_.setStore(opts_.artifactStore);
+    ccache_.setStore(opts_.artifactStore);
     if (jobs.empty())
         return results;
 
@@ -378,6 +383,7 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
         }
 
         std::shared_ptr<const CompiledKernel> compiled;
+        CompileCache::FetchInfo fetch;
         try {
             // Compile once per (architecture compile slice, kernel):
             // sweep points that only vary replay-side knobs share the
@@ -388,7 +394,7 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
             compiled = ccache_.get(
                 *model,
                 TraceCache::keyFor(job.workload, traced.traces->launch),
-                traced.traces);
+                traced.traces, &fetch);
         } catch (const SimError &e) {
             out.error = e.what();
             out.errorKind = e.kind();
@@ -397,6 +403,20 @@ ExperimentEngine::runJob(const ExperimentJob &job, size_t index)
             out.error = e.what();
             out.errorKind = SimErrorKind::Compile;
             return out;
+        }
+
+        if (jm && opts_.artifactStore) {
+            // Provenance of this job's two artifacts (0..2 store hits).
+            // Read off the shared cache entries, not off scheduling
+            // observables, so the values are identical for every
+            // requester of a key and across worker counts.
+            const double trace_hit = traced.traces->storeBacked ? 1 : 0;
+            const double ck_hit = fetch.storeBacked ? 1 : 0;
+            jm->set("artifact_store.hits", trace_hit + ck_hit);
+            jm->set("artifact_store.misses", 2 - trace_hit - ck_hit);
+            jm->set("artifact_store.bytes_mapped",
+                    double(traced.traces->mappedBytes) +
+                        double(fetch.mappedBytes));
         }
 
         try {

@@ -199,6 +199,20 @@ struct EngineOptions
     MetricsCollector *metrics = nullptr;
 
     /**
+     * Optional persistent artifact store; not owned. Must be open()
+     * before run(). The engine mounts it under both sweep caches: a
+     * cold sweep publishes every traced workload and compiled artifact,
+     * a warm sweep satisfies them by mmap without a single functional
+     * execution or compilation — and, because replay statistics are
+     * deterministic functions of (traces, artifact, config), with
+     * byte-identical result JSON. With metrics attached, each job
+     * additionally reports `artifact_store.{hits,misses,bytes_mapped}`
+     * provenance counters (entry-based, so deterministic across worker
+     * counts).
+     */
+    ArtifactStore *artifactStore = nullptr;
+
+    /**
      * Optional graceful-drain flag; not owned. When it becomes true
      * (a signal handler, another thread, a callback), workers stop
      * dequeueing: in-flight jobs finish (or trip their watchdogs) and

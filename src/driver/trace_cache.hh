@@ -40,10 +40,22 @@
 namespace vgiw
 {
 
+class ArtifactStore;
+
 /** Memoising, thread-safe front-end to Runner::trace(). */
 class TraceCache
 {
   public:
+    /**
+     * Attach a persistent artifact store (nullptr detaches). With a
+     * store attached, a cache miss first tries to mmap-load previously
+     * published traces — keyed by the kernel's IR content hash plus the
+     * launch fingerprint, so the key survives workload renames — and a
+     * fresh functional execution publishes its traces on success. A
+     * store hit does NOT count as a functional execution. Call before
+     * the first get(); the pointer must outlive the cache.
+     */
+    void setStore(ArtifactStore *store) { store_ = store; }
     /**
      * Traces for the named workload; @p make is invoked to build the
      * instance (its launch geometry/parameters complete the cache key).
@@ -101,6 +113,16 @@ class TraceCache
 
     TraceResult resultFor(const std::shared_ptr<const Entry> &entry) const;
 
+    /**
+     * Try to satisfy a miss from the artifact store. On success fills
+     * @p entry->result with store-backed traces (goldenPassed restored
+     * from the blob) and returns true; any load or decode failure —
+     * absent, corrupt, truncated, stale version — returns false and
+     * the caller falls through to the functional execution.
+     */
+    bool tryLoadFromStore(Entry &entry, uint64_t contentHash,
+                          const std::string &storeKey) const;
+
     mutable std::mutex mu_;
     std::map<std::string, std::shared_future<std::shared_ptr<const Entry>>>
         entries_;
@@ -112,6 +134,7 @@ class TraceCache
      */
     std::map<std::string, std::string> nameToKey_;
     std::atomic<uint64_t> execs_{0};
+    ArtifactStore *store_ = nullptr;
 };
 
 } // namespace vgiw

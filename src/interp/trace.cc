@@ -1,5 +1,9 @@
 #include "interp/trace.hh"
 
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+
 #include "common/logging.hh"
 
 namespace vgiw
@@ -117,7 +121,7 @@ ThreadTrace
 TraceSet::decodeThread(uint32_t tid) const
 {
     ThreadTrace out;
-    const ThreadIndex &ix = index_[tid];
+    const ThreadIndex &ix = idx(tid);
     out.execs.reserve(ix.numExecs);
     out.accesses.reserve(ix.numAccesses);
     ThreadCursor c = thread(tid);
@@ -143,9 +147,9 @@ TraceSet::blockExecCount(int b) const
     // Walks the exec streams only: the two streams are independent, so
     // counting block executions never has to decode a single access.
     uint64_t n = 0;
-    for (size_t tid = 0; tid < index_.size(); ++tid) {
-        ThreadCursor c(execBytes_.data() + index_[tid].execOff, nullptr,
-                       index_[tid].numExecs);
+    for (size_t tid = 0; tid < numThreads(); ++tid) {
+        const ThreadIndex &ix = idx(tid);
+        ThreadCursor c(execData() + ix.execOff, nullptr, ix.numExecs);
         while (!c.done()) {
             if (c.block() == b)
                 ++n;
@@ -154,6 +158,158 @@ TraceSet::blockExecCount(int b) const
         }
     }
     return n;
+}
+
+uint64_t
+TraceSet::accessSpanLen(uint32_t tid) const
+{
+    // A thread's encoded access span runs to the next thread's offset
+    // (threads are laid out back to back) or to the end of the stream.
+    const uint64_t begin = idx(tid).accessOff;
+    const uint64_t end = tid + 1 < numThreads() ? idx(tid + 1).accessOff
+                                                : accessLen();
+    return end - begin;
+}
+
+// --- Persistence -----------------------------------------------------
+//
+// Wire layout (all little-endian, validated field by field):
+//
+//   u64 numThreads | u64 execLen | u64 accessLen
+//   u64 totalExecs | u64 totalAccesses
+//   ThreadIndex[numThreads]          (24 bytes each, offsets monotone)
+//   uint8_t execBytes[execLen]
+//   uint8_t accessBytes[accessLen]
+//
+// The 40-byte header and the 24-byte index entries keep the index
+// 8-aligned when the payload itself is (artifact-store blobs are), so
+// deserialize() reads the index in place from the mapping.
+
+void
+TraceSet::serializeInto(std::string &out) const
+{
+    const uint64_t hdr[5] = {numThreads(), execLen(), accessLen(),
+                             totalExecs_, totalAccesses_};
+    out.append(reinterpret_cast<const char *>(hdr), sizeof hdr);
+    const ThreadIndex *ix = extIndex_ ? extIndex_ : index_.data();
+    out.append(reinterpret_cast<const char *>(ix),
+               numThreads() * sizeof(ThreadIndex));
+    out.append(reinterpret_cast<const char *>(execData()), execLen());
+    out.append(reinterpret_cast<const char *>(accessData()),
+               accessLen());
+}
+
+bool
+TraceSet::deserialize(const uint8_t *data, size_t len,
+                      std::shared_ptr<const void> backing,
+                      const Kernel *kernel, const LaunchParams &launch,
+                      TraceSet &out)
+{
+    // The store's payload checksum already guarantees integrity; these
+    // structural checks make a corrupt-but-checksummed (or truncated)
+    // buffer a clean miss instead of an out-of-bounds decode.
+    if (len < 5 * sizeof(uint64_t) ||
+        (reinterpret_cast<uintptr_t>(data) & 7) != 0)
+        return false;
+    uint64_t hdr[5];
+    std::memcpy(hdr, data, sizeof hdr);
+    const uint64_t n = hdr[0], exec_len = hdr[1], acc_len = hdr[2];
+    if (exec_len > len || acc_len > len ||
+        n > (len - sizeof hdr) / sizeof(ThreadIndex))
+        return false;
+    if (sizeof hdr + n * sizeof(ThreadIndex) + exec_len + acc_len !=
+        len)
+        return false;
+
+    const auto *ix =
+        reinterpret_cast<const ThreadIndex *>(data + sizeof hdr);
+    uint64_t sum_execs = 0, sum_accs = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        if (ix[i].execOff > exec_len || ix[i].accessOff > acc_len)
+            return false;
+        if (i && (ix[i].execOff < ix[i - 1].execOff ||
+                  ix[i].accessOff < ix[i - 1].accessOff))
+            return false;
+        sum_execs += ix[i].numExecs;
+        sum_accs += ix[i].numAccesses;
+    }
+    if (sum_execs != hdr[3] || sum_accs != hdr[4])
+        return false;
+
+    TraceSet ts;
+    ts.kernel = kernel;
+    ts.launch = launch;
+    ts.extIndex_ = ix;
+    ts.extExec_ = data + sizeof hdr + n * sizeof(ThreadIndex);
+    ts.extAccess_ = ts.extExec_ + exec_len;
+    ts.extThreads_ = n;
+    ts.extExecLen_ = exec_len;
+    ts.extAccessLen_ = acc_len;
+    ts.backing_ = std::move(backing);
+    ts.totalExecs_ = hdr[3];
+    ts.totalAccesses_ = hdr[4];
+    ts.storeBacked = true;
+    ts.mappedBytes = len;
+    out = std::move(ts);
+    return true;
+}
+
+// --- Access interning ------------------------------------------------
+
+void
+TraceSet::buildAccessIntern()
+{
+    if (intern_)
+        return;
+    const size_t n = numThreads();
+    auto in = std::make_shared<AccessIntern>();
+    in->offset.resize(n);
+    in->pool.reserve(totalAccesses_ < (uint64_t(1) << 28)
+                         ? size_t(totalAccesses_)
+                         : 0);
+
+    // Dedup key: the thread's *encoded* byte span plus its access
+    // count. Both delta chains start at zero per thread, so identical
+    // bytes decoded the same number of times yield identical accesses
+    // (the count matters: distinct varint groupings of the same bytes
+    // could otherwise collide).
+    struct Slot
+    {
+        uint64_t off;
+        uint32_t nacc;
+    };
+    std::unordered_map<std::string_view, Slot> seen;
+    seen.reserve(n);
+
+    for (size_t tid = 0; tid < n; ++tid) {
+        const ThreadIndex &ix = idx(tid);
+        const std::string_view span(
+            reinterpret_cast<const char *>(accessData()) + ix.accessOff,
+            size_t(accessSpanLen(uint32_t(tid))));
+        const auto it = seen.find(span);
+        if (it != seen.end() && it->second.nacc == ix.numAccesses) {
+            in->offset[tid] = it->second.off;
+            continue;
+        }
+        const uint64_t off = in->pool.size();
+        const uint8_t *p = accessData() + ix.accessOff;
+        uint32_t prev[2] = {0, 0};
+        for (uint32_t k = 0; k < ix.numAccesses; ++k) {
+            const uint64_t v = varint::decode(p);
+            MemAccess a;
+            a.isStore = v & 1;
+            a.isShared = (v >> 1) & 1;
+            uint32_t &pr = prev[a.isShared ? 1 : 0];
+            pr = uint32_t(int64_t(pr) + varint::unzigzag(v >> 2));
+            a.addr = pr;
+            in->pool.push_back(a);
+        }
+        in->offset[tid] = off;
+        ++in->uniqueStreams;
+        if (it == seen.end())
+            seen.emplace(span, Slot{off, ix.numAccesses});
+    }
+    intern_ = std::move(in);
 }
 
 } // namespace vgiw

@@ -33,12 +33,30 @@
  *    with separate previous-address chains for shared and global space
  *    (both 0 initially) so strided global streams are not disturbed by
  *    interleaved scratchpad traffic.
+ *
+ * Two orthogonal extensions serve the sweep hot path:
+ *
+ *  - External storage: a TraceSet can borrow its three arrays (thread
+ *    index, exec bytes, access bytes) from a caller-owned backing — an
+ *    mmap'd artifact-store blob — instead of owning vectors. Warm
+ *    sweeps decode straight out of the mapping; nothing is copied or
+ *    rematerialised. serializeInto()/deserialize() define the layout.
+ *
+ *  - Access interning: buildAccessIntern() decodes every thread's
+ *    access stream once into a shared pool, deduplicating threads
+ *    whose *encoded* streams are byte-identical (the delta chains
+ *    start at zero per thread, so equal bytes imply equal decoded
+ *    streams). Replays across all config points of a workload then
+ *    read accesses from the pool instead of re-running the varint
+ *    decoder per job — the PR 6 headroom item.
  */
 
 #ifndef VGIW_INTERP_TRACE_HH
 #define VGIW_INTERP_TRACE_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/varint.hh"
@@ -78,6 +96,10 @@ struct ThreadTrace
  * with nextAccess(), and nextExec() advances to the next execution
  * (skipping any accesses the caller did not consume, so the delta
  * chains stay in sync). Cheap to copy; ~100 bytes of state.
+ *
+ * When the owning TraceSet has an access intern table, accesses are
+ * served from the pre-decoded pool (one pointer bump) instead of the
+ * varint decoder; the observable sequence is identical by construction.
  */
 class ThreadCursor
 {
@@ -100,6 +122,9 @@ class ThreadCursor
     MemAccess
     nextAccess()
     {
+        --accLeft_;
+        if (pool_)
+            return pool_[poolPos_++];
         const uint64_t v = varint::decode(ap_);
         MemAccess a;
         a.isStore = v & 1;
@@ -107,7 +132,6 @@ class ThreadCursor
         uint32_t &prev = prevAddr_[a.isShared ? 1 : 0];
         prev = uint32_t(int64_t(prev) + varint::unzigzag(v >> 2));
         a.addr = prev;
-        --accLeft_;
         return a;
     }
 
@@ -115,8 +139,13 @@ class ThreadCursor
     void
     nextExec()
     {
-        while (accLeft_)
-            nextAccess();
+        if (pool_) {
+            poolPos_ += accLeft_;  // skip unconsumed accesses in O(1)
+            accLeft_ = 0;
+        } else {
+            while (accLeft_)
+                nextAccess();
+        }
         if (execsLeft_) {
             --execsLeft_;
             decodeExec();
@@ -136,8 +165,8 @@ class ThreadCursor
     };
 
     ThreadCursor(const uint8_t *exec, const uint8_t *acc,
-                 uint32_t num_execs)
-        : ep_(exec), ap_(acc), execsLeft_(num_execs)
+                 uint32_t num_execs, const MemAccess *pool = nullptr)
+        : ep_(exec), ap_(acc), pool_(pool), execsLeft_(num_execs)
     {
         if (execsLeft_) {
             --execsLeft_;
@@ -175,6 +204,8 @@ class ThreadCursor
 
     const uint8_t *ep_ = nullptr;  ///< exec stream read position
     const uint8_t *ap_ = nullptr;  ///< access stream read position
+    const MemAccess *pool_ = nullptr;  ///< interned accesses, or null
+    uint64_t poolPos_ = 0;         ///< next access within pool_
     uint32_t execsLeft_ = 0;       ///< execs not yet decoded
     bool hasCur_ = false;
     Tup cur_;
@@ -192,13 +223,28 @@ class ThreadCursor
  *
  * @warning TraceSet borrows the kernel: the Kernel object passed to
  * Interpreter::run() (e.g. the WorkloadInstance that owns it) must
- * outlive every use of the traces by the core models.
+ * outlive every use of the traces by the core models. An externally
+ * backed TraceSet (deserialize()) additionally borrows its streams
+ * from the backing it was given; the shared backing pointer keeps the
+ * mapping alive for the TraceSet's lifetime.
  */
 class TraceSet
 {
   public:
     const Kernel *kernel = nullptr;
     LaunchParams launch;
+
+    /**
+     * FNV-1a of the kernel's printed IR, or 0 when not computed. Set by
+     * the trace cache when an artifact store is attached; the compile
+     * cache keys per-arch artifacts by it (content addressing survives
+     * workload renames, and two identical kernels share artifacts).
+     */
+    uint64_t contentHash = 0;
+    /** Streams are served from an artifact-store mapping (warm load). */
+    bool storeBacked = false;
+    /** Payload bytes mmap'd for this trace set (0 when cold). */
+    uint64_t mappedBytes = 0;
 
     TraceSet() = default;
 
@@ -212,23 +258,25 @@ class TraceSet
                                 const LaunchParams &launch,
                                 const std::vector<ThreadTrace> &threads);
 
-    size_t numThreads() const { return index_.size(); }
+    size_t numThreads() const { return extIndex_ ? extThreads_ : index_.size(); }
 
     /** A fresh decode cursor over thread @p tid's trace. */
     ThreadCursor
     thread(uint32_t tid) const
     {
-        const ThreadIndex &ix = index_[tid];
-        return ThreadCursor(execBytes_.data() + ix.execOff,
-                            accessBytes_.data() + ix.accessOff,
-                            ix.numExecs);
+        const ThreadIndex &ix = idx(tid);
+        const AccessIntern *in = intern_.get();
+        return ThreadCursor(execData() + ix.execOff,
+                            accessData() + ix.accessOff, ix.numExecs,
+                            in ? in->pool.data() + in->offset[tid]
+                               : nullptr);
     }
 
-    uint32_t numExecs(uint32_t tid) const { return index_[tid].numExecs; }
+    uint32_t numExecs(uint32_t tid) const { return idx(tid).numExecs; }
     uint32_t
     numAccesses(uint32_t tid) const
     {
-        return index_[tid].numAccesses;
+        return idx(tid).numAccesses;
     }
 
     /** Materialise one thread's full trace (tests / inspection). */
@@ -247,7 +295,7 @@ class TraceSet
     size_t
     compressedBytes() const
     {
-        return execBytes_.size() + accessBytes_.size();
+        return size_t(execLen() + accessLen());
     }
 
     /** What the raw BlockExec/MemAccess arrays would occupy. */
@@ -258,18 +306,116 @@ class TraceSet
                totalAccesses_ * sizeof(MemAccess);
     }
 
+    // --- Persistence (artifact store) --------------------------------
+
+    /**
+     * Append the wire form — a fixed header, the thread index, then
+     * the two byte streams — to @p out. Everything but the borrowed
+     * kernel/launch (which the cache key pins) round-trips.
+     */
+    void serializeInto(std::string &out) const;
+
+    /**
+     * Rebuild a TraceSet over @p data (length @p len) produced by
+     * serializeInto, zero-copy: the index and streams stay in the
+     * backing, which the result holds alive. @p data must be 8-aligned
+     * (artifact-store payloads are). Returns false — leaving @p out
+     * untouched — on any structural mismatch: short buffer, lengths
+     * that do not add up, or a non-monotone thread index. @p kernel
+     * and @p launch are the caller's (key-matched) kernel identity.
+     */
+    static bool deserialize(const uint8_t *data, size_t len,
+                            std::shared_ptr<const void> backing,
+                            const Kernel *kernel,
+                            const LaunchParams &launch, TraceSet &out);
+
+    // --- Access interning --------------------------------------------
+
+    /**
+     * Decode every thread's access stream once into a shared pool,
+     * deduplicating byte-identical encoded streams, so subsequent
+     * cursors serve accesses without varint decoding. Idempotent; call
+     * before the TraceSet is shared across threads (the trace cache
+     * does, before publishing its entry). Trades one materialised copy
+     * per workload for per-job decode work — shared across every
+     * config point of the sweep.
+     */
+    void buildAccessIntern();
+
+    bool hasAccessIntern() const { return intern_ != nullptr; }
+    /** Distinct encoded access streams (== threads when none collide). */
+    uint64_t internUniqueStreams() const
+    {
+        return intern_ ? intern_->uniqueStreams : 0;
+    }
+    /** Bytes of decoded MemAccess pool the intern table holds. */
+    uint64_t internPoolBytes() const
+    {
+        return intern_ ? intern_->pool.size() * sizeof(MemAccess) : 0;
+    }
+
   private:
     struct ThreadIndex
     {
-        uint64_t execOff = 0;    ///< offset into execBytes_
-        uint64_t accessOff = 0;  ///< offset into accessBytes_
+        uint64_t execOff = 0;    ///< offset into the exec stream
+        uint64_t accessOff = 0;  ///< offset into the access stream
         uint32_t numExecs = 0;
         uint32_t numAccesses = 0;
     };
+    static_assert(sizeof(ThreadIndex) == 24,
+                  "on-disk thread index layout is pinned");
 
+    /** Decoded-access pool shared by all cursors of this TraceSet. */
+    struct AccessIntern
+    {
+        std::vector<MemAccess> pool;
+        std::vector<uint64_t> offset;  ///< per thread, index into pool
+        uint64_t uniqueStreams = 0;
+    };
+
+    const uint8_t *
+    execData() const
+    {
+        return extExec_ ? extExec_ : execBytes_.data();
+    }
+    const uint8_t *
+    accessData() const
+    {
+        return extAccess_ ? extAccess_ : accessBytes_.data();
+    }
+    uint64_t
+    execLen() const
+    {
+        return extIndex_ ? extExecLen_ : execBytes_.size();
+    }
+    uint64_t
+    accessLen() const
+    {
+        return extIndex_ ? extAccessLen_ : accessBytes_.size();
+    }
+    const ThreadIndex &
+    idx(uint32_t tid) const
+    {
+        return extIndex_ ? extIndex_[tid] : index_[tid];
+    }
+    /** Encoded byte span of thread @p tid's access stream. */
+    uint64_t accessSpanLen(uint32_t tid) const;
+
+    // Owned storage (fromThreads) ...
     std::vector<uint8_t> execBytes_;
     std::vector<uint8_t> accessBytes_;
     std::vector<ThreadIndex> index_;
+    // ... or borrowed views into an mmap'd backing (deserialize).
+    const ThreadIndex *extIndex_ = nullptr;
+    const uint8_t *extExec_ = nullptr;
+    const uint8_t *extAccess_ = nullptr;
+    uint64_t extThreads_ = 0;
+    uint64_t extExecLen_ = 0;
+    uint64_t extAccessLen_ = 0;
+    std::shared_ptr<const void> backing_;
+
+    std::shared_ptr<const AccessIntern> intern_;
+
     uint64_t totalExecs_ = 0;
     uint64_t totalAccesses_ = 0;
 };

@@ -29,6 +29,19 @@ class PostDominators
     explicit PostDominators(const Kernel &kernel);
 
     /**
+     * Rehydrate from a previously computed ipdom vector (the compiled-
+     * artifact store round-trip); @p ipdoms must come from ipdoms() on
+     * a kernel with an identical CFG, which the store key guarantees.
+     */
+    static PostDominators
+    fromIpdoms(std::vector<int> ipdoms)
+    {
+        PostDominators pd;
+        pd.ipdom_ = std::move(ipdoms);
+        return pd;
+    }
+
+    /**
      * Immediate post-dominator of @p block, or kVirtualExit when the only
      * post-dominator is the virtual exit (i.e. reconvergence happens at
      * thread termination).
@@ -38,7 +51,12 @@ class PostDominators
     /** True if @p a post-dominates @p b (a == b counts). */
     bool postDominates(int a, int b) const;
 
+    /** The full immediate-post-dominator vector (serialization). */
+    const std::vector<int> &ipdoms() const { return ipdom_; }
+
   private:
+    PostDominators() = default;
+
     std::vector<int> ipdom_;
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cgrf/config_cost.hh"
+#include "cgrf/placed_serde.hh"
 #include "cgrf/placer.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
@@ -126,6 +127,69 @@ SgmfCore::compile(const Kernel &k) const
         ck->blockOps.push_back(oc.total());
     }
     ck->criticalPath = kernelCriticalPath(k, ck->placed.blocks);
+    return ck;
+}
+
+namespace
+{
+/** Bumped when the SGMF artifact payload layout changes. */
+constexpr uint32_t kSgmfArtifactVersion = 1;
+} // namespace
+
+std::string
+SgmfCore::serializeArtifact(const CompiledKernel &compiled) const
+{
+    const auto *ck = dynamic_cast<const SgmfCompiledKernel *>(&compiled);
+    if (!ck)
+        return {};
+    std::string out;
+    ByteWriter w(out);
+    w.u32(kSgmfArtifactVersion);
+    w.u8(ck->fits ? 1 : 0);
+    w.f64(ck->unitsNeeded);
+    writePlacedKernel(w, ck->placed);
+    w.i32(ck->replicas);
+    w.u64(ck->opsInt);
+    w.u64(ck->opsFp);
+    w.u64(ck->opsScu);
+    w.u64(ck->edges);
+    w.u64(ck->hops);
+    w.i32(ck->criticalPath);
+    w.u64(ck->blockOps.size());
+    w.raw(ck->blockOps.data(),
+          ck->blockOps.size() * sizeof(uint32_t));
+    return out;
+}
+
+std::shared_ptr<const CompiledKernel>
+SgmfCore::deserializeArtifact(std::string_view bytes) const
+{
+    ByteReader r(bytes.data(), bytes.size());
+    if (r.u32() != kSgmfArtifactVersion)
+        return nullptr;
+    auto ck = std::make_shared<SgmfCompiledKernel>();
+    ck->fits = r.u8() != 0;
+    ck->unitsNeeded = r.f64();
+    if (!readPlacedKernel(r, ck->placed))
+        return nullptr;
+    ck->replicas = r.i32();
+    ck->opsInt = r.u64();
+    ck->opsFp = r.u64();
+    ck->opsScu = r.u64();
+    ck->edges = r.u64();
+    ck->hops = r.u64();
+    ck->criticalPath = r.i32();
+    const uint64_t n = r.u64();
+    const uint8_t *p =
+        r.ok() && n <= r.remaining() / sizeof(uint32_t)
+            ? r.bytes(size_t(n) * sizeof(uint32_t))
+            : nullptr;
+    if (!p)
+        return nullptr;
+    ck->blockOps.resize(size_t(n));
+    std::memcpy(ck->blockOps.data(), p, size_t(n) * sizeof(uint32_t));
+    if (!r.done())
+        return nullptr;
     return ck;
 }
 

@@ -104,6 +104,12 @@ class SgmfCore final : public CoreModel
                  const CompiledKernel &compiled) const override;
     using CoreModel::run;
 
+    /** Persist / rehydrate an SgmfCompiledKernel (artifact store). */
+    std::string
+    serializeArtifact(const CompiledKernel &compiled) const override;
+    std::shared_ptr<const CompiledKernel>
+    deserializeArtifact(std::string_view bytes) const override;
+
     /** Whether @p kernel can be mapped at all. */
     bool supports(const Kernel &kernel) const;
 

@@ -9,6 +9,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "driver/artifact_store.hh"
 #include "ir/post_dominators.hh"
 #include "mem/memory_system.hh"
 #include "simt/simt_stack.hh"
@@ -100,6 +101,91 @@ FermiCore::compile(const Kernel &k) const
         ck->branchCondRf.push_back(blk.term.kind == TermKind::Branch &&
                                    blk.term.cond.isRegisterRead());
     }
+    return ck;
+}
+
+namespace
+{
+/** Bumped when the Fermi artifact payload layout changes. */
+constexpr uint32_t kFermiArtifactVersion = 1;
+} // namespace
+
+std::string
+FermiCore::serializeArtifact(const CompiledKernel &compiled) const
+{
+    const auto *ck = dynamic_cast<const FermiCompiledKernel *>(&compiled);
+    if (!ck)
+        return {};
+    std::string out;
+    ByteWriter w(out);
+    w.u32(kFermiArtifactVersion);
+    const std::vector<int> &ipd = ck->pd.ipdoms();
+    w.u64(ipd.size());
+    w.raw(ipd.data(), ipd.size() * sizeof(int));
+    w.u64(ck->decoded.size());
+    for (const auto &ds : ck->decoded) {
+        w.u64(ds.size());
+        for (const FermiDecodedInstr &d : ds) {
+            w.u32(d.rfAccesses);
+            w.u8(uint8_t(d.isMemory) | uint8_t(d.isShared) << 1 |
+                 uint8_t(d.isStore) << 2);
+            w.u8(uint8_t(d.resource));
+        }
+    }
+    w.u64(ck->branchCondRf.size());
+    w.raw(ck->branchCondRf.data(), ck->branchCondRf.size());
+    return out;
+}
+
+std::shared_ptr<const CompiledKernel>
+FermiCore::deserializeArtifact(std::string_view bytes) const
+{
+    ByteReader r(bytes.data(), bytes.size());
+    if (r.u32() != kFermiArtifactVersion)
+        return nullptr;
+    const uint64_t n_ipd = r.u64();
+    const uint8_t *p =
+        r.ok() && n_ipd <= r.remaining() / sizeof(int)
+            ? r.bytes(size_t(n_ipd) * sizeof(int))
+            : nullptr;
+    if (!p)
+        return nullptr;
+    std::vector<int> ipd;
+    ipd.resize(size_t(n_ipd));
+    std::memcpy(ipd.data(), p, size_t(n_ipd) * sizeof(int));
+    auto ck = std::make_shared<FermiCompiledKernel>(
+        PostDominators::fromIpdoms(std::move(ipd)));
+
+    const uint64_t n_blocks = r.u64();
+    if (!r.ok() || n_blocks > r.remaining())
+        return nullptr;
+    ck->decoded.resize(size_t(n_blocks));
+    for (auto &ds : ck->decoded) {
+        const uint64_t n = r.u64();
+        // 6 wire bytes per decoded instruction.
+        if (!r.ok() || n > r.remaining() / 6)
+            return nullptr;
+        ds.resize(size_t(n));
+        for (FermiDecodedInstr &d : ds) {
+            d.rfAccesses = r.u32();
+            const uint8_t flags = r.u8();
+            const uint8_t res = r.u8();
+            if (flags > 7 || res > uint8_t(ResourceClass::Mem))
+                return nullptr;
+            d.isMemory = flags & 1;
+            d.isShared = (flags >> 1) & 1;
+            d.isStore = (flags >> 2) & 1;
+            d.resource = ResourceClass(res);
+        }
+    }
+    const uint64_t n_br = r.u64();
+    p = r.ok() && n_br <= r.remaining() ? r.bytes(size_t(n_br))
+                                        : nullptr;
+    if (!p)
+        return nullptr;
+    ck->branchCondRf.assign(p, p + n_br);
+    if (!r.done())
+        return nullptr;
     return ck;
 }
 

@@ -82,6 +82,11 @@ struct FermiDecodedInstr
 struct FermiCompiledKernel final : CompiledKernel
 {
     explicit FermiCompiledKernel(const Kernel &kernel) : pd(kernel) {}
+    /** Rehydration path: an already-computed reconvergence tree. */
+    explicit FermiCompiledKernel(PostDominators pdoms)
+        : pd(std::move(pdoms))
+    {
+    }
 
     PostDominators pd;
     std::vector<std::vector<FermiDecodedInstr>> decoded;  ///< per block
@@ -110,6 +115,12 @@ class FermiCore final : public CoreModel
     RunStats run(const TraceSet &traces,
                  const CompiledKernel &compiled) const override;
     using CoreModel::run;
+
+    /** Persist / rehydrate a FermiCompiledKernel (artifact store). */
+    std::string
+    serializeArtifact(const CompiledKernel &compiled) const override;
+    std::shared_ptr<const CompiledKernel>
+    deserializeArtifact(std::string_view bytes) const override;
 
     const FermiConfig &config() const { return cfg_; }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cgrf/config_cost.hh"
+#include "cgrf/placed_serde.hh"
 #include "cgrf/placer.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
@@ -135,6 +136,76 @@ VgiwCore::compile(const Kernel &k) const
         total_util += ck->placed.back().utilization(cfg_.grid.numUnits());
     }
     ck->avgUtilization = total_util / double(k.numBlocks());
+    return ck;
+}
+
+namespace
+{
+/** Bumped when the VGIW artifact payload layout changes. */
+constexpr uint32_t kVgiwArtifactVersion = 1;
+} // namespace
+
+std::string
+VgiwCore::serializeArtifact(const CompiledKernel &compiled) const
+{
+    const auto *ck = dynamic_cast<const VgiwCompiledKernel *>(&compiled);
+    if (!ck)
+        return {};
+    std::string out;
+    ByteWriter w(out);
+    w.u32(kVgiwArtifactVersion);
+    // placed/ops/liveIns are parallel per-block arrays: one count.
+    w.u64(ck->placed.size());
+    for (const PlacedBlock &b : ck->placed)
+        writePlacedBlock(w, b);
+    for (const OpCounts &oc : ck->ops) {
+        w.u32(oc.intAlu);
+        w.u32(oc.fpAlu);
+        w.u32(oc.scu);
+        w.u32(oc.loads);
+        w.u32(oc.stores);
+    }
+    for (const auto &li : ck->liveIns) {
+        w.u32(uint32_t(li.size()));
+        w.raw(li.data(), li.size() * sizeof(uint16_t));
+    }
+    w.f64(ck->avgUtilization);
+    return out;
+}
+
+std::shared_ptr<const CompiledKernel>
+VgiwCore::deserializeArtifact(std::string_view bytes) const
+{
+    ByteReader r(bytes.data(), bytes.size());
+    if (r.u32() != kVgiwArtifactVersion)
+        return nullptr;
+    const uint64_t n = r.u64();
+    if (!r.ok() || n > r.remaining())
+        return nullptr;
+    auto ck = std::make_shared<VgiwCompiledKernel>();
+    ck->placed.resize(size_t(n));
+    for (PlacedBlock &b : ck->placed)
+        readPlacedBlock(r, b);
+    ck->ops.resize(size_t(n));
+    for (OpCounts &oc : ck->ops) {
+        oc.intAlu = r.u32();
+        oc.fpAlu = r.u32();
+        oc.scu = r.u32();
+        oc.loads = r.u32();
+        oc.stores = r.u32();
+    }
+    ck->liveIns.resize(size_t(n));
+    for (auto &li : ck->liveIns) {
+        const uint32_t cnt = r.u32();
+        const uint8_t *p = r.bytes(size_t(cnt) * sizeof(uint16_t));
+        if (!p)
+            return nullptr;
+        li.resize(cnt);
+        std::memcpy(li.data(), p, size_t(cnt) * sizeof(uint16_t));
+    }
+    ck->avgUtilization = r.f64();
+    if (!r.done())
+        return nullptr;
     return ck;
 }
 

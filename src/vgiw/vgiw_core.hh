@@ -131,6 +131,12 @@ class VgiwCore final : public CoreModel
                  const CompiledKernel &compiled) const override;
     using CoreModel::run;
 
+    /** Persist / rehydrate a VgiwCompiledKernel (artifact store). */
+    std::string
+    serializeArtifact(const CompiledKernel &compiled) const override;
+    std::shared_ptr<const CompiledKernel>
+    deserializeArtifact(std::string_view bytes) const override;
+
     /** Tile size for a kernel/launch pair (Section 3.2 formula). */
     int tileSizeFor(const Kernel &kernel, const LaunchParams &launch) const;
 

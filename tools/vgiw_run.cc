@@ -13,6 +13,7 @@
  *            [--metrics] [--trace-out <file>]
  *            [--max-replay-cycles N] [--deadline-ms N]
  *            [--journal <file>] [--resume] [--retries N]
+ *            [--artifact-dir <dir>]
  *   vgiw_run [--suite|--workload ...] --dry-run
  *
  * Single-workload mode runs one Table 2 workload (functional execution
@@ -45,6 +46,13 @@
  * configuration and prints the job list (keys + sweep hash) without
  * simulating — a cheap pre-flight before an hours-long run.
  *
+ * Warm starts: --artifact-dir mounts a persistent content-addressed
+ * store under the sweep caches. A cold sweep publishes every traced
+ * workload and compiled artifact; a warm sweep mmaps them back and
+ * reports zero functional executions and zero compilations with
+ * byte-identical --json output. Corrupt or stale blobs demote to
+ * misses (recompute + republish), never errors.
+ *
  * Exit codes: 0 every job succeeded; 2 usage or configuration error
  * (nothing ran); 3 the run completed but some jobs failed (golden
  * mismatch, compile error, watchdog, panic); 4 the run was interrupted
@@ -66,6 +74,7 @@
 #include "common/signal_drain.hh"
 #include "common/sim_error.hh"
 #include "common/watchdog.hh"
+#include "driver/artifact_store.hh"
 #include "driver/experiment_engine.hh"
 #include "driver/result_journal.hh"
 #include "driver/result_table.hh"
@@ -119,6 +128,9 @@ constexpr FlagSpec kFlags[] = {
     {"--journal", "<file>",
      "append each completed job to a crash-safe result journal "
      "(--suite)"},
+    {"--artifact-dir", "<dir>",
+     "persistent artifact store: cold sweeps publish traces/compiled "
+     "kernels, warm sweeps mmap them back (--suite)"},
     {"--resume", nullptr,
      "skip jobs the journal already holds; re-run only the rest"},
     {"--retries", "<n>",
@@ -289,7 +301,7 @@ int
 main(int argc, char **argv)
 {
     std::string workload, arch = "all", json_path, journal_path;
-    std::string trace_path;
+    std::string trace_path, artifact_dir;
     VgiwConfig vcfg;
     WatchdogConfig wd;
     bool suite = false, dump_ir = false, verbose = false;
@@ -325,6 +337,8 @@ main(int argc, char **argv)
             trace_path = next();
         } else if (a == "--journal") {
             journal_path = next();
+        } else if (a == "--artifact-dir") {
+            artifact_dir = next();
         } else if (a == "--resume") {
             resume = true;
         } else if (a == "--retries") {
@@ -380,6 +394,11 @@ main(int argc, char **argv)
     if (!suite && (!journal_path.empty() || retries)) {
         std::fprintf(stderr, "--journal/--resume/--retries are only "
                              "meaningful with --suite\n");
+        return 2;
+    }
+    if (!suite && !artifact_dir.empty()) {
+        std::fprintf(stderr,
+                     "--artifact-dir is only meaningful with --suite\n");
         return 2;
     }
 
@@ -457,6 +476,20 @@ main(int argc, char **argv)
         if (collect)
             opts.metrics = &collector;
 
+        // Mount the persistent artifact store before anything traces or
+        // compiles. An unopenable store directory is a configuration
+        // error (exit 2): silently running cold would defeat the
+        // warm-start contract the flag exists for.
+        ArtifactStore store;
+        if (!artifact_dir.empty()) {
+            std::string err;
+            if (!store.open(artifact_dir, &err)) {
+                std::fprintf(stderr, "artifact store: %s\n", err.c_str());
+                return 2;
+            }
+            opts.artifactStore = &store;
+        }
+
         ResultJournal journal;
         if (!journal_path.empty()) {
             const std::string hash =
@@ -524,10 +557,19 @@ main(int argc, char **argv)
                         r.goldenPassed ? "ok" : "FAIL");
         }
         std::printf("\n%zu results, %d failures (traced %llu workloads "
-                    "once each)\n",
+                    "once each, %llu compilations)\n",
                     results.size(), failures,
                     (unsigned long long)
-                        engine.traceCache().functionalExecutions());
+                        engine.traceCache().functionalExecutions(),
+                    (unsigned long long)
+                        engine.compileCache().compilations());
+        if (!artifact_dir.empty()) {
+            std::printf("artifact store: %llu hits, %llu misses, "
+                        "%llu bytes mapped\n",
+                        (unsigned long long)store.hits(),
+                        (unsigned long long)store.misses(),
+                        (unsigned long long)store.bytesMapped());
+        }
         if (restored)
             std::printf("%zu restored from the journal\n", restored);
         if (quarantined)
