@@ -21,6 +21,7 @@ simErrorKindName(SimErrorKind kind)
       case SimErrorKind::Golden: return "golden";
       case SimErrorKind::Watchdog: return "watchdog";
       case SimErrorKind::Internal: return "internal";
+      case SimErrorKind::WorkerCrash: return "worker_crash";
     }
     return "?";
 }

@@ -21,6 +21,10 @@
  *                deadline (livelock containment)
  *   internal   — an invariant violation (a captured vgiw_panic) or an
  *                unclassified exception escaping replay
+ *   worker_crash — the worker *process* running the job died (SIGSEGV,
+ *                abort, OOM kill, heartbeat silence); assigned by the
+ *                shard supervisor, never by in-process code, since by
+ *                definition the process that hit it cannot report it
  */
 
 #ifndef VGIW_COMMON_SIM_ERROR_HH
@@ -44,6 +48,7 @@ enum class SimErrorKind : uint8_t
     Golden,      ///< golden reference mismatch
     Watchdog,    ///< replay cycle ceiling / wall-clock deadline hit
     Internal,    ///< captured panic or unclassified replay exception
+    WorkerCrash, ///< worker process died mid-job (shard supervisor)
 };
 
 /** Stable lower-case name ("config", "watchdog", ...) for JSON. */

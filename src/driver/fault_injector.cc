@@ -1,6 +1,7 @@
 #include "driver/fault_injector.hh"
 
 #include <chrono>
+#include <csignal>
 #include <stdexcept>
 #include <thread>
 
@@ -43,6 +44,12 @@ FaultInjector::armStall(Point p, size_t job_index, int millis)
     arm(p, job_index, [millis]() {
         std::this_thread::sleep_for(std::chrono::milliseconds(millis));
     });
+}
+
+void
+FaultInjector::armRaise(Point p, size_t job_index, int signo)
+{
+    arm(p, job_index, [signo]() { std::raise(signo); });
 }
 
 void

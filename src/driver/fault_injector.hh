@@ -63,6 +63,15 @@ class FaultInjector
      * the point, to push a job past its wall-clock deadline. */
     void armStall(Point p, size_t job_index, int millis);
 
+    /**
+     * raise(@p signo) at the point — a *hard* fault that kills the
+     * process (SIGSEGV, SIGKILL, SIGABRT bypass C++ unwinding and the
+     * PanicCaptureScope entirely). Only meaningful inside a shard
+     * worker, where the supervisor observes the death and records the
+     * job as a `worker_crash`.
+     */
+    void armRaise(Point p, size_t job_index, int signo);
+
     /** A stage-appropriate typed corruption: functional-kind at trace,
      * compile-kind at compile, a panic at replay, a throw at callback. */
     void armCorrupt(Point p, size_t job_index);

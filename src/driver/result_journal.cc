@@ -152,12 +152,19 @@ ResultJournal::load(const std::string &path)
     while (std::getline(in, line)) {
         // getline() also returns a final line with no trailing '\n';
         // such a line may be a half-written append. Entries are only
-        // trusted when they parse completely — the first bad line ends
-        // the recovery (appends are sequential, so nothing valid can
-        // follow a torn write).
+        // trusted when they parse completely; a malformed line is
+        // *dropped*, not treated as end-of-journal — a restarted
+        // coordinator appends past its predecessor's torn tail (after
+        // openAppend terminates it with a newline), so valid records
+        // can legitimately follow a bad line.
         JournalEntry e;
         if (!parseEntryLine(line, e))
-            break;
+            continue;
+        // Duplicate keys: last complete record wins. Re-appending a key
+        // is normal across coordinator restarts (the job re-ran); both
+        // records are complete and bit-identical for deterministic
+        // jobs, and when they differ the most recent run is the one
+        // the resume must trust.
         out.entries[e.key] = std::move(e);
     }
     return out;
@@ -173,6 +180,19 @@ ResultJournal::openAppend(const std::string &path, std::string *error)
         return false;
     }
     path_ = path;
+    // Heal a torn tail: if the previous writer died mid-append the file
+    // ends without a newline, and appending straight after it would
+    // merge the new record into the torn fragment — corrupting a *good*
+    // record with a bad one. Terminating the fragment turns it into one
+    // malformed line load() drops on the next recovery.
+    if (std::FILE *probe = std::fopen(path.c_str(), "rb")) {
+        char last = '\n';
+        if (std::fseek(probe, -1, SEEK_END) == 0)
+            last = char(std::fgetc(probe));
+        std::fclose(probe);
+        if (last != '\n')
+            std::fputc('\n', file_);
+    }
     return true;
 }
 

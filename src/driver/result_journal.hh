@@ -122,9 +122,12 @@ class ResultJournal
     };
 
     /**
-     * Parse the journal at @p path. A truncated or malformed tail is
-     * dropped (entries stop at the first bad line); a missing or
-     * headerless file is invalid.
+     * Parse the journal at @p path. Truncated or malformed lines are
+     * dropped and parsing continues (openAppend newline-terminates a
+     * predecessor's torn tail, so valid records can follow a bad
+     * line); duplicate keys resolve last-complete-record-wins — a
+     * restarted coordinator legitimately re-appends a key. A missing
+     * or headerless file is invalid.
      */
     static Loaded load(const std::string &path);
 

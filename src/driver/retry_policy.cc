@@ -12,6 +12,10 @@ RetryPolicy::retryableKind(SimErrorKind kind)
     switch (kind) {
       case SimErrorKind::Watchdog:
       case SimErrorKind::Internal:
+      // A crashed worker is environment-sensitive by definition: the
+      // supervisor re-dispatches the job to a fresh process until the
+      // crash budget is exhausted.
+      case SimErrorKind::WorkerCrash:
         return true;
       case SimErrorKind::None:
       case SimErrorKind::Config:

@@ -1,0 +1,1028 @@
+#include "driver/worker_pool.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/signal_drain.hh"
+#include "common/subprocess.hh"
+#include "driver/artifact_store.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_mute_heartbeats{false};
+
+uint64_t
+envMsOverride(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    return (end && *end == '\0') ? n : fallback;
+}
+
+// ---------------------------------------------------------------------
+// Wire payloads. Native layout is fine: both ends are fork()s of one
+// process image; the frame layer already adds length + checksum.
+
+/** FrameType::Result payload, decoded. */
+struct ResultMsg
+{
+    uint64_t index = 0;
+    bool ok = false, golden = false, ran = false, supported = false;
+    bool quarantined = false, drained = false;
+    SimErrorKind kind = SimErrorKind::None;
+    uint32_t attempts = 1;
+    uint64_t cycles = 0;
+    double systemPj = 0.0;
+    double l1MissRate = 0.0;
+    std::string error;
+    std::string jsonLine;
+};
+
+enum : uint8_t
+{
+    kMsgOk = 1 << 0,
+    kMsgGolden = 1 << 1,
+    kMsgRan = 1 << 2,
+    kMsgSupported = 1 << 3,
+    kMsgQuarantined = 1 << 4,
+    kMsgDrained = 1 << 5,
+};
+
+std::string
+encodeResult(uint64_t index, const JobResult &r, std::string_view jsonLine)
+{
+    std::string payload;
+    ByteWriter w(payload);
+    w.u64(index);
+    uint8_t flags = 0;
+    if (r.ok())
+        flags |= kMsgOk;
+    if (r.goldenPassed)
+        flags |= kMsgGolden;
+    if (r.ran)
+        flags |= kMsgRan;
+    if (r.stats.supported)
+        flags |= kMsgSupported;
+    if (r.quarantined)
+        flags |= kMsgQuarantined;
+    if (r.drained)
+        flags |= kMsgDrained;
+    w.u8(flags);
+    w.u8(uint8_t(r.errorKind));
+    w.u32(r.attempts);
+    w.u64(r.stats.cycles);
+    w.f64(r.stats.energy.systemPj());
+    w.f64(r.stats.l1Stats.missRate());
+    w.u32(uint32_t(r.error.size()));
+    w.raw(r.error.data(), r.error.size());
+    w.u32(uint32_t(jsonLine.size()));
+    w.raw(jsonLine.data(), jsonLine.size());
+    return payload;
+}
+
+bool
+decodeResult(const std::string &payload, ResultMsg *out)
+{
+    ByteReader rd(payload.data(), payload.size());
+    out->index = rd.u64();
+    const uint8_t flags = rd.u8();
+    out->ok = flags & kMsgOk;
+    out->golden = flags & kMsgGolden;
+    out->ran = flags & kMsgRan;
+    out->supported = flags & kMsgSupported;
+    out->quarantined = flags & kMsgQuarantined;
+    out->drained = flags & kMsgDrained;
+    out->kind = SimErrorKind(rd.u8());
+    out->attempts = rd.u32();
+    out->cycles = rd.u64();
+    out->systemPj = rd.f64();
+    out->l1MissRate = rd.f64();
+    const uint32_t elen = rd.u32();
+    if (const uint8_t *p = rd.bytes(elen))
+        out->error.assign(reinterpret_cast<const char *>(p), elen);
+    const uint32_t jlen = rd.u32();
+    if (const uint8_t *p = rd.bytes(jlen))
+        out->jsonLine.assign(reinterpret_cast<const char *>(p), jlen);
+    return rd.done();
+}
+
+/** FrameType::Stats payload: final per-worker cache/store counters. */
+struct StatsMsg
+{
+    uint64_t functionalExecutions = 0;
+    uint64_t compilations = 0;
+    uint64_t storeHits = 0;
+    uint64_t storeMisses = 0;
+    uint64_t storeBytesMapped = 0;
+};
+
+std::string
+encodeStats(const StatsMsg &m)
+{
+    std::string payload;
+    ByteWriter w(payload);
+    w.u64(m.functionalExecutions);
+    w.u64(m.compilations);
+    w.u64(m.storeHits);
+    w.u64(m.storeMisses);
+    w.u64(m.storeBytesMapped);
+    return payload;
+}
+
+bool
+decodeStats(const std::string &payload, StatsMsg *out)
+{
+    ByteReader rd(payload.data(), payload.size());
+    out->functionalExecutions = rd.u64();
+    out->compilations = rd.u64();
+    out->storeHits = rd.u64();
+    out->storeMisses = rd.u64();
+    out->storeBytesMapped = rd.u64();
+    return rd.done();
+}
+
+// ---------------------------------------------------------------------
+// Worker-side test fault (ctest scripts): VGIW_TEST_FAULT=
+// "<segv|kill|abort|stall|mute>:<globalJobIndex>[:<millis>]". The
+// fault is armed at the engine's Replay point, so the worker dies (or
+// stalls) genuinely mid-job, after tracing and compiling.
+
+struct TestFault
+{
+    enum class Kind { None, Segv, Kill, Abort, Stall, Mute };
+    Kind kind = Kind::None;
+    uint64_t index = 0;
+    int millis = 0;
+};
+
+TestFault
+parseTestFault(const char *spec)
+{
+    TestFault f;
+    if (!spec || !*spec)
+        return f;
+    std::string s(spec);
+    const size_t c1 = s.find(':');
+    if (c1 == std::string::npos)
+        return f;
+    const std::string action = s.substr(0, c1);
+    const size_t c2 = s.find(':', c1 + 1);
+    const std::string idx = s.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+    f.index = std::strtoull(idx.c_str(), nullptr, 10);
+    if (c2 != std::string::npos)
+        f.millis = int(std::strtoul(s.c_str() + c2 + 1, nullptr, 10));
+    if (action == "segv")
+        f.kind = TestFault::Kind::Segv;
+    else if (action == "kill")
+        f.kind = TestFault::Kind::Kill;
+    else if (action == "abort")
+        f.kind = TestFault::Kind::Abort;
+    else if (action == "stall")
+        f.kind = TestFault::Kind::Stall;
+    else if (action == "mute")
+        f.kind = TestFault::Kind::Mute;
+    return f;
+}
+
+void
+armTestFault(const TestFault &f, FaultInjector &injector)
+{
+    using Point = FaultInjector::Point;
+    // The worker engine runs one job at a time, so the local index the
+    // injector sees is always 0.
+    switch (f.kind) {
+      case TestFault::Kind::None:
+        break;
+      case TestFault::Kind::Segv:
+        injector.armRaise(Point::Replay, 0, SIGSEGV);
+        break;
+      case TestFault::Kind::Kill:
+        injector.armRaise(Point::Replay, 0, SIGKILL);
+        break;
+      case TestFault::Kind::Abort:
+        injector.armRaise(Point::Replay, 0, SIGABRT);
+        break;
+      case TestFault::Kind::Stall:
+        injector.armStall(Point::Replay, 0, f.millis ? f.millis : 30000);
+        break;
+      case TestFault::Kind::Mute:
+        // A silent worker: alive and busy but no heartbeats — the
+        // supervisor's timeout, not waitpid, has to catch this one.
+        muteWorkerHeartbeatsForTest(true);
+        injector.armStall(Point::Replay, 0, f.millis ? f.millis : 30000);
+        break;
+    }
+}
+
+} // namespace
+
+void
+muteWorkerHeartbeatsForTest(bool mute)
+{
+    g_mute_heartbeats.store(mute, std::memory_order_relaxed);
+}
+
+std::string
+SupervisorStats::countersJson() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "{\"supervisor.crashes\":%llu,"
+                  "\"supervisor.heartbeat_misses\":%llu,"
+                  "\"supervisor.restarts\":%llu,"
+                  "\"supervisor.steals\":%llu}",
+                  (unsigned long long)crashes,
+                  (unsigned long long)heartbeatMisses,
+                  (unsigned long long)restarts,
+                  (unsigned long long)steals);
+    return buf;
+}
+
+ShardSupervisor::ShardSupervisor(ShardOptions opts) : opts_(std::move(opts))
+{
+    opts_.heartbeatIntervalMs =
+        envMsOverride("VGIW_SHARD_HEARTBEAT_MS", opts_.heartbeatIntervalMs);
+    opts_.heartbeatTimeoutMs = envMsOverride(
+        "VGIW_SHARD_HEARTBEAT_TIMEOUT_MS", opts_.heartbeatTimeoutMs);
+    opts_.respawnBackoffMs =
+        envMsOverride("VGIW_SHARD_BACKOFF_MS", opts_.respawnBackoffMs);
+    if (opts_.heartbeatIntervalMs == 0)
+        opts_.heartbeatIntervalMs = 250;
+    if (opts_.heartbeatTimeoutMs < 2 * opts_.heartbeatIntervalMs)
+        opts_.heartbeatTimeoutMs = 2 * opts_.heartbeatIntervalMs;
+}
+
+int
+ShardSupervisor::workerMain(int in_fd, int out_fd,
+                            const std::vector<ExperimentJob> &jobs)
+{
+    ignoreSigpipe();
+    installDrainHandlers();
+
+    // Liveness breadcrumb for orphan-detection tests: present while
+    // the worker runs, removed on clean exit. A crash leaves a stale
+    // file whose pid no longer exists — which is exactly the
+    // distinction the no-orphans check needs.
+    std::string pidfile;
+    if (const char *dir = std::getenv("VGIW_SHARD_PIDFILE_DIR");
+        dir && *dir) {
+        pidfile = std::string(dir) + "/worker-" +
+                  std::to_string(::getpid()) + ".alive";
+        if (std::FILE *f = std::fopen(pidfile.c_str(), "w")) {
+            std::fprintf(f, "%d\n", int(::getpid()));
+            std::fclose(f);
+        }
+    }
+
+    const TestFault fault = parseTestFault(std::getenv("VGIW_TEST_FAULT"));
+
+    FaultInjector injector;
+    MetricsCollector collector;
+    EngineOptions eopts;
+    eopts.jobs = 1;
+    eopts.retry = opts_.retry;
+    eopts.artifactStore = opts_.artifactStore;
+    eopts.injector = &injector;
+    eopts.stop = &drainFlag();
+    if (opts_.collectMetrics)
+        eopts.metrics = &collector;
+    // One engine for the worker's lifetime: its trace/compile caches
+    // persist across jobs, so a worker that sees a workload twice
+    // traces it once — and with a shared artifact store, the whole
+    // fleet traces it once.
+    ExperimentEngine engine(eopts);
+
+    // The heartbeat thread shares the result pipe; a mutex keeps
+    // frames from interleaving mid-write.
+    std::mutex write_mu;
+    std::atomic<bool> beat_stop{false};
+    std::thread beater([&]() {
+        const auto interval =
+            std::chrono::milliseconds(opts_.heartbeatIntervalMs);
+        auto next = Clock::now();
+        while (!beat_stop.load(std::memory_order_acquire)) {
+            if (!g_mute_heartbeats.load(std::memory_order_relaxed)) {
+                std::lock_guard<std::mutex> lock(write_mu);
+                writeFrame(out_fd, FrameType::Heartbeat, {});
+            }
+            next += interval;
+            // Sleep in short slices so shutdown never waits a full
+            // interval.
+            while (!beat_stop.load(std::memory_order_acquire) &&
+                   Clock::now() < next) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        }
+    });
+
+    int rc = 0;
+    for (;;) {
+        if (drainRequested())
+            break;
+        Frame frame;
+        const ReadStatus st = readFrame(in_fd, &frame);
+        if (st == ReadStatus::Interrupted)
+            continue;  // a signal landed; the loop re-checks the drain
+        if (st == ReadStatus::Eof)
+            break;  // coordinator closed the pipe: orderly exit
+        if (st != ReadStatus::Ok) {
+            rc = 1;  // Corrupt / Error: desynchronised coordinator
+            break;
+        }
+        if (frame.type == FrameType::Shutdown)
+            break;
+        if (frame.type != FrameType::Job)
+            continue;
+
+        ByteReader rd(frame.payload.data(), frame.payload.size());
+        const uint64_t index = rd.u64();
+        if (!rd.done() || index >= jobs.size()) {
+            rc = 1;
+            break;
+        }
+        if (fault.kind != TestFault::Kind::None && fault.index == index)
+            armTestFault(fault, injector);
+        if (opts_.workerPreJob)
+            opts_.workerPreJob(size_t(index));
+
+        auto results = engine.run({jobs[index]});
+        const JobResult &r = results[0];
+        const std::string_view line = engine.resultTable().renderRow(0);
+        const std::string payload = encodeResult(index, r, line);
+        {
+            std::lock_guard<std::mutex> lock(write_mu);
+            if (!writeFrame(out_fd, FrameType::Result, payload)) {
+                rc = 1;  // coordinator is gone; nothing left to do
+                break;
+            }
+        }
+        if (r.drained)
+            break;
+    }
+
+    // Final counters — sent even on drain so the coordinator's summary
+    // covers what this worker did before stopping.
+    StatsMsg stats;
+    stats.functionalExecutions =
+        engine.traceCache().functionalExecutions();
+    stats.compilations = engine.compileCache().compilations();
+    if (opts_.artifactStore) {
+        stats.storeHits = opts_.artifactStore->hits();
+        stats.storeMisses = opts_.artifactStore->misses();
+        stats.storeBytesMapped = opts_.artifactStore->bytesMapped();
+    }
+    {
+        std::lock_guard<std::mutex> lock(write_mu);
+        writeFrame(out_fd, FrameType::Stats, encodeStats(stats));
+    }
+    beat_stop.store(true, std::memory_order_release);
+    beater.join();
+    if (!pidfile.empty())
+        ::unlink(pidfile.c_str());
+    return rc;
+}
+
+std::vector<ShardRow>
+ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
+{
+    std::vector<ShardRow> rows(jobs.size());
+    table_.reset(jobs.size());
+    stats_ = SupervisorStats{};
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        rows[i].workload = jobs[i].workload;
+        rows[i].arch = jobs[i].arch;
+        rows[i].configLabel = jobs[i].configLabel;
+    }
+    if (jobs.empty())
+        return rows;
+
+    ignoreSigpipe();
+
+    std::vector<std::string> keys(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        keys[i] = ExperimentEngine::jobKey(jobs[i]);
+
+    // Guarded progress callbacks, mirroring the engine: a throwing
+    // observer must not take down the coordinator.
+    size_t done = 0;
+    auto report = [&](size_t i) {
+        const ShardRow &row = rows[i];
+        try {
+            if (opts_.onResult)
+                opts_.onResult(i, row);
+        } catch (...) {
+        }
+        if (!row.ok && !row.drained && opts_.onFailure) {
+            try {
+                opts_.onFailure(row);
+            } catch (...) {
+            }
+        }
+    };
+
+    // Restore journaled jobs verbatim, then report them up-front in
+    // submission order — identical accounting to a single-process
+    // resume.
+    std::vector<size_t> pending;
+    pending.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const JournalEntry *e = nullptr;
+        if (opts_.journal) {
+            auto it = opts_.journal->entries().find(keys[i]);
+            if (it != opts_.journal->entries().end())
+                e = &it->second;
+        }
+        if (!e) {
+            pending.push_back(i);
+            continue;
+        }
+        ShardRow &row = rows[i];
+        row.restored = true;
+        row.ok = e->ok;
+        row.golden = e->golden;
+        row.quarantined = e->quarantined;
+        row.ran = e->ok;
+        row.jsonLine = e->jsonLine;
+        if (!e->ok) {
+            row.error = "failed in the journaled run (restored "
+                        "verbatim; see the journal entry)";
+        }
+        JobResult jr;
+        jr.workload = jobs[i].workload;
+        jr.arch = jobs[i].arch;
+        jr.configLabel = jobs[i].configLabel;
+        jr.restored = true;
+        jr.restoredJson = e->jsonLine;
+        jr.goldenPassed = e->golden;
+        jr.quarantined = e->quarantined;
+        if (e->ok)
+            jr.ran = true;
+        else
+            jr.error = row.error;
+        table_.fill(i, jr);
+        ++done;
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i].restored)
+            report(i);
+    }
+    if (pending.empty())
+        return rows;
+
+    unsigned nshards = std::max(opts_.shards, 1u);
+    if (size_t(nshards) > pending.size())
+        nshards = unsigned(pending.size());
+
+    struct Slot
+    {
+        size_t id = 0;
+        ChildProcess cp{};
+        bool alive = false;
+        bool busy = false;
+        size_t job = 0;
+        Clock::time_point dispatched{};
+        Clock::time_point lastBeat{};
+        Clock::time_point backoffUntil{};
+        unsigned consecutiveCrashes = 0;
+        std::string pendingReason;  ///< supervisor-initiated kill cause
+        std::deque<size_t> queue;
+    };
+    std::vector<Slot> slots(nshards);
+    for (size_t s = 0; s < slots.size(); ++s)
+        slots[s].id = s;
+    for (size_t k = 0; k < pending.size(); ++k)
+        slots[k % nshards].queue.push_back(pending[k]);
+
+    std::vector<unsigned> dispatches(jobs.size(), 0);
+    const unsigned crash_budget =
+        opts_.crashAttempts
+            ? opts_.crashAttempts
+            : 1 + std::max(opts_.retry.maxAttempts, 2u) - 1;
+
+    bool draining = false;
+
+    auto finalizeDrained = [&](size_t i) {
+        rows[i].drained = true;
+        JobResult jr;
+        jr.workload = jobs[i].workload;
+        jr.arch = jobs[i].arch;
+        jr.configLabel = jobs[i].configLabel;
+        jr.drained = true;
+        table_.fill(i, jr);
+        ++done;
+    };
+
+    auto finalizeCrash = [&](size_t i, const std::string &why) {
+        JobResult jr;
+        jr.workload = jobs[i].workload;
+        jr.arch = jobs[i].arch;
+        jr.configLabel = jobs[i].configLabel;
+        jr.error = why;
+        jr.errorKind = SimErrorKind::WorkerCrash;
+        jr.attempts = std::max(dispatches[i], 1u);
+        jr.quarantined = true;
+        table_.fill(i, jr);
+        ShardRow &row = rows[i];
+        row.ok = false;
+        row.golden = false;
+        row.ran = false;
+        row.quarantined = true;
+        row.errorKind = SimErrorKind::WorkerCrash;
+        row.attempts = jr.attempts;
+        row.error = why;
+        row.jsonLine = std::string(table_.renderRow(i));
+        if (opts_.journal) {
+            JournalEntry entry;
+            entry.key = keys[i];
+            entry.ok = false;
+            entry.golden = false;
+            entry.quarantined = true;
+            entry.jsonLine = row.jsonLine;
+            opts_.journal->append(entry);
+        }
+        report(i);
+        ++done;
+    };
+
+    auto finalizeResult = [&](const ResultMsg &m) {
+        const size_t i = size_t(m.index);
+        ShardRow &row = rows[i];
+        row.ok = m.ok;
+        row.golden = m.golden;
+        row.ran = m.ran;
+        row.supported = m.supported;
+        row.quarantined = m.quarantined;
+        row.errorKind = m.kind;
+        row.attempts = m.attempts;
+        row.error = m.error;
+        row.cycles = m.cycles;
+        row.energySystemPj = m.systemPj;
+        row.l1MissRate = m.l1MissRate;
+        row.jsonLine = m.jsonLine;
+        // Re-emit the worker-rendered bytes verbatim (the restored-row
+        // mechanism): the coordinator's --json output is then
+        // byte-identical to a single-process run by construction.
+        JobResult jr;
+        jr.workload = jobs[i].workload;
+        jr.arch = jobs[i].arch;
+        jr.configLabel = jobs[i].configLabel;
+        jr.restored = true;
+        jr.restoredJson = m.jsonLine;
+        jr.goldenPassed = m.golden;
+        jr.quarantined = m.quarantined;
+        if (m.ok)
+            jr.ran = true;
+        else
+            jr.error = m.error;
+        table_.fill(i, jr);
+        if (opts_.journal) {
+            JournalEntry entry;
+            entry.key = keys[i];
+            entry.ok = m.ok;
+            entry.golden = m.golden;
+            entry.quarantined = m.quarantined;
+            entry.jsonLine = m.jsonLine;
+            opts_.journal->append(entry);
+        }
+        report(i);
+        ++done;
+    };
+
+    auto workAvailable = [&]() {
+        for (const Slot &s : slots)
+            if (!s.queue.empty())
+                return true;
+        return false;
+    };
+
+    auto takeJob = [&](Slot &s) -> std::optional<size_t> {
+        if (!s.queue.empty()) {
+            const size_t j = s.queue.front();
+            s.queue.pop_front();
+            return j;
+        }
+        // Steal from the back of the longest other queue: the victim
+        // keeps its front (likely already warm in its worker's caches),
+        // the thief takes the tail.
+        Slot *victim = nullptr;
+        for (Slot &o : slots) {
+            if (&o == &s || o.queue.empty())
+                continue;
+            if (!victim || o.queue.size() > victim->queue.size())
+                victim = &o;
+        }
+        if (!victim)
+            return std::nullopt;
+        const size_t j = victim->queue.back();
+        victim->queue.pop_back();
+        ++stats_.steals;
+        return j;
+    };
+
+    size_t spawn_failures = 0;
+    auto spawn = [&](Slot &s, bool respawn) {
+        // Hygiene: the child must not inherit the pipe ends of its
+        // sibling workers, or a sibling's EOF would be deferred until
+        // *this* child also exits.
+        std::vector<int> other_fds;
+        for (const Slot &o : slots) {
+            if (&o == &s || !o.alive)
+                continue;
+            other_fds.push_back(o.cp.toChild);
+            other_fds.push_back(o.cp.fromChild);
+        }
+        std::string err;
+        const bool ok = spawnChild(
+            [this, &jobs, other_fds](int in_fd, int out_fd) {
+                for (int fd : other_fds)
+                    ::close(fd);
+                return workerMain(in_fd, out_fd, jobs);
+            },
+            &s.cp, &err);
+        if (!ok) {
+            ++spawn_failures;
+            std::fprintf(stderr, "shard worker %zu: %s\n", s.id,
+                         err.c_str());
+            s.backoffUntil =
+                Clock::now() + std::chrono::milliseconds(1000);
+            return false;
+        }
+        s.alive = true;
+        s.busy = false;
+        s.lastBeat = Clock::now();
+        s.pendingReason.clear();
+        if (respawn)
+            ++stats_.restarts;
+        std::fprintf(stderr, "shard worker %zu %s (pid %d)\n", s.id,
+                     respawn ? "respawned" : "started", int(s.cp.pid));
+        return true;
+    };
+
+    auto dispatch = [&](Slot &s, size_t i) {
+        std::string payload;
+        ByteWriter w(payload);
+        w.u64(uint64_t(i));
+        ++dispatches[i];
+        if (!writeFrame(s.cp.toChild, FrameType::Job, payload)) {
+            // The worker died between spawn and dispatch; the reap path
+            // below will notice. Undo the dispatch accounting.
+            --dispatches[i];
+            s.queue.push_front(i);
+            s.pendingReason = "job dispatch failed (pipe closed)";
+            return;
+        }
+        s.busy = true;
+        s.job = i;
+        s.dispatched = Clock::now();
+    };
+
+    // Forward declaration dance: handleFrame is used by both the poll
+    // loop and the pre-death pipe drain.
+    std::function<void(Slot &, const Frame &)> handleFrame =
+        [&](Slot &s, const Frame &frame) {
+            switch (frame.type) {
+              case FrameType::Heartbeat:
+                s.lastBeat = Clock::now();
+                break;
+              case FrameType::Result: {
+                ResultMsg m;
+                if (!decodeResult(frame.payload, &m) ||
+                    m.index >= jobs.size()) {
+                    break;  // corrupt payload; the checksum said Ok,
+                            // but be defensive about the layout
+                }
+                if (!s.busy || s.job != size_t(m.index))
+                    break;  // stale/duplicate result: drop
+                s.busy = false;
+                s.consecutiveCrashes = 0;
+                if (m.drained) {
+                    // The worker drained before running the job. While
+                    // the sweep itself is draining that is the job's
+                    // terminal state; otherwise (a stray signal hit
+                    // one worker) the job is still owed a run.
+                    --dispatches[m.index];
+                    if (draining)
+                        finalizeDrained(size_t(m.index));
+                    else
+                        s.queue.push_front(size_t(m.index));
+                    break;
+                }
+                finalizeResult(m);
+                break;
+              }
+              case FrameType::Stats: {
+                StatsMsg m;
+                if (!decodeStats(frame.payload, &m))
+                    break;
+                stats_.functionalExecutions += m.functionalExecutions;
+                stats_.compilations += m.compilations;
+                stats_.storeHits += m.storeHits;
+                stats_.storeMisses += m.storeMisses;
+                stats_.storeBytesMapped += m.storeBytesMapped;
+                break;
+              }
+              default:
+                break;  // workers do not send Job/Shutdown
+            }
+        };
+
+    auto closeSlotFds = [](Slot &s) {
+        if (s.cp.toChild >= 0)
+            ::close(s.cp.toChild);
+        if (s.cp.fromChild >= 0)
+            ::close(s.cp.fromChild);
+        s.cp.toChild = s.cp.fromChild = -1;
+    };
+
+    /** Drain buffered frames (non-blocking) so a Result or Stats the
+     * worker managed to send before dying is not lost with the pipe. */
+    auto drainPipe = [&](Slot &s) {
+        while (s.cp.fromChild >= 0) {
+            struct pollfd pfd = {s.cp.fromChild, POLLIN, 0};
+            if (::poll(&pfd, 1, 0) <= 0 || !(pfd.revents & POLLIN))
+                break;
+            Frame frame;
+            if (readFrame(s.cp.fromChild, &frame) != ReadStatus::Ok)
+                break;
+            handleFrame(s, frame);
+        }
+    };
+
+    auto death = [&](Slot &s) {
+        if (!s.alive)
+            return;
+        drainPipe(s);
+        closeSlotFds(s);
+        // SIGKILL before the blocking reap: if the child is alive but
+        // wedged (it sent a corrupt frame, say), waitpid must not hang
+        // the coordinator. A zombie discards the signal harmlessly.
+        killChild(s.cp.pid, SIGKILL);
+        const ChildStatus st = waitChild(s.cp.pid);
+        s.alive = false;
+        const bool clean =
+            st.state == ChildState::Exited && st.code == 0;
+        std::string why = s.pendingReason.empty()
+                              ? describeChildStatus(st)
+                              : s.pendingReason;
+        s.pendingReason.clear();
+        if (s.busy) {
+            // The in-flight job died with its worker.
+            s.busy = false;
+            ++stats_.crashes;
+            ++s.consecutiveCrashes;
+            const size_t i = s.job;
+            std::fprintf(stderr,
+                         "shard worker %zu (pid %d) lost job %s [%s]: "
+                         "%s (attempt %u/%u)\n",
+                         s.id, int(s.cp.pid), jobs[i].workload.c_str(),
+                         jobs[i].arch.c_str(), why.c_str(),
+                         dispatches[i], crash_budget);
+            if (dispatches[i] >= crash_budget) {
+                finalizeCrash(i, "worker crashed: " + why);
+            } else if (draining) {
+                finalizeDrained(i);
+            } else {
+                s.queue.push_front(i);
+            }
+            const unsigned shift =
+                std::min(s.consecutiveCrashes - 1, 5u);
+            s.backoffUntil =
+                Clock::now() + std::chrono::milliseconds(
+                                   opts_.respawnBackoffMs << shift);
+        } else if (!clean && !draining) {
+            std::fprintf(stderr,
+                         "shard worker %zu (pid %d) exited while idle: "
+                         "%s\n",
+                         s.id, int(s.cp.pid), why.c_str());
+        }
+    };
+
+    for (Slot &s : slots) {
+        if (!s.queue.empty())
+            spawn(s, /*respawn=*/false);
+    }
+
+    while (done < jobs.size()) {
+        const auto now = Clock::now();
+
+        if (!draining && opts_.stop &&
+            opts_.stop->load(std::memory_order_acquire)) {
+            // Propagate the drain to the whole fleet: workers share
+            // the drain-handler installation, so the forwarded signal
+            // sets *their* flag and they exit after the in-flight job.
+            draining = true;
+            const int sig = drainSignal() ? drainSignal() : SIGTERM;
+            for (Slot &s : slots) {
+                if (s.alive)
+                    killChild(s.cp.pid, sig);
+            }
+        }
+        if (draining) {
+            for (Slot &s : slots) {
+                for (size_t j : s.queue)
+                    finalizeDrained(j);
+                s.queue.clear();
+            }
+            bool any_busy = false;
+            for (const Slot &s : slots)
+                any_busy |= s.alive && s.busy;
+            if (!any_busy)
+                break;
+        } else {
+            for (Slot &s : slots) {
+                if (!s.alive && now >= s.backoffUntil &&
+                    workAvailable()) {
+                    spawn(s, /*respawn=*/true);
+                }
+            }
+            for (Slot &s : slots) {
+                if (s.alive && !s.busy) {
+                    if (auto j = takeJob(s))
+                        dispatch(s, *j);
+                }
+            }
+            if (spawn_failures > 0 && !workAvailable()) {
+                // nothing queued; in-flight jobs still complete below
+            } else if (spawn_failures >= 4 * slots.size()) {
+                // fork() persistently failing: fail the remaining jobs
+                // rather than spinning forever.
+                bool any_alive = false;
+                for (const Slot &s : slots)
+                    any_alive |= s.alive;
+                if (!any_alive) {
+                    for (Slot &s : slots) {
+                        while (!s.queue.empty()) {
+                            const size_t j = s.queue.front();
+                            s.queue.pop_front();
+                            dispatches[j] = crash_budget;
+                            finalizeCrash(j, "worker crashed: cannot "
+                                             "spawn worker process");
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+
+        std::vector<struct pollfd> fds;
+        std::vector<size_t> fd_slot;
+        for (size_t s = 0; s < slots.size(); ++s) {
+            if (slots[s].alive && slots[s].cp.fromChild >= 0) {
+                fds.push_back({slots[s].cp.fromChild, POLLIN, 0});
+                fd_slot.push_back(s);
+            }
+        }
+        if (!fds.empty()) {
+            const int n = ::poll(fds.data(), nfds_t(fds.size()), 50);
+            if (n > 0) {
+                for (size_t k = 0; k < fds.size(); ++k) {
+                    Slot &s = slots[fd_slot[k]];
+                    if (!s.alive)
+                        continue;
+                    if (fds[k].revents & POLLIN) {
+                        Frame frame;
+                        const ReadStatus st =
+                            readFrame(s.cp.fromChild, &frame);
+                        if (st == ReadStatus::Ok) {
+                            handleFrame(s, frame);
+                        } else if (st == ReadStatus::Interrupted) {
+                            // re-check the drain flag next iteration
+                        } else {
+                            if (st == ReadStatus::Corrupt) {
+                                s.pendingReason =
+                                    "sent a corrupt frame; killed";
+                            }
+                            death(s);
+                        }
+                    } else if (fds[k].revents & (POLLHUP | POLLERR)) {
+                        death(s);
+                    }
+                }
+            }
+        } else if (done < jobs.size()) {
+            // No live pipes (all workers backing off): nap briefly so
+            // the backoff loop is not a busy spin.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+
+        const auto after = Clock::now();
+        for (Slot &s : slots) {
+            if (!s.alive)
+                continue;
+            using std::chrono::duration_cast;
+            using std::chrono::milliseconds;
+            if (s.busy && opts_.jobDeadlineMs &&
+                duration_cast<milliseconds>(after - s.dispatched)
+                        .count() > int64_t(opts_.jobDeadlineMs) &&
+                s.pendingReason.empty()) {
+                char buf[96];
+                std::snprintf(buf, sizeof buf,
+                              "job deadline exceeded (%llu ms); killed",
+                              (unsigned long long)opts_.jobDeadlineMs);
+                s.pendingReason = buf;
+                killChild(s.cp.pid, SIGKILL);
+            }
+            if (duration_cast<milliseconds>(after - s.lastBeat)
+                        .count() > int64_t(opts_.heartbeatTimeoutMs) &&
+                s.pendingReason.empty()) {
+                ++stats_.heartbeatMisses;
+                char buf[96];
+                std::snprintf(buf, sizeof buf,
+                              "heartbeat silent for %llu ms; killed",
+                              (unsigned long long)
+                                  opts_.heartbeatTimeoutMs);
+                s.pendingReason = buf;
+                killChild(s.cp.pid, SIGKILL);
+            }
+        }
+        for (Slot &s : slots) {
+            if (!s.alive)
+                continue;
+            const ChildStatus st = pollChild(s.cp.pid);
+            if (st.state == ChildState::Exited ||
+                st.state == ChildState::Signaled ||
+                st.state == ChildState::Lost) {
+                death(s);
+            }
+        }
+    }
+
+    // Orderly shutdown: ask every surviving worker to exit, collect
+    // its final Stats frame, then reap — escalating to SIGKILL only if
+    // a worker ignores both the Shutdown frame and the pipe EOF. By
+    // construction no worker outlives this loop.
+    for (Slot &s : slots) {
+        if (!s.alive)
+            continue;
+        writeFrame(s.cp.toChild, FrameType::Shutdown, {});
+        ::close(s.cp.toChild);
+        s.cp.toChild = -1;
+    }
+    for (Slot &s : slots) {
+        if (!s.alive || s.cp.fromChild < 0)
+            continue;
+        const auto deadline =
+            Clock::now() + std::chrono::milliseconds(3000);
+        for (;;) {
+            struct pollfd pfd = {s.cp.fromChild, POLLIN, 0};
+            const int n = ::poll(&pfd, 1, 100);
+            if (n > 0 && (pfd.revents & POLLIN)) {
+                Frame frame;
+                if (readFrame(s.cp.fromChild, &frame) != ReadStatus::Ok)
+                    break;
+                handleFrame(s, frame);
+                if (frame.type == FrameType::Stats)
+                    break;
+                continue;
+            }
+            if (n > 0 && (pfd.revents & (POLLHUP | POLLERR)))
+                break;
+            if (Clock::now() >= deadline)
+                break;
+        }
+    }
+    for (Slot &s : slots) {
+        if (!s.alive)
+            continue;
+        closeSlotFds(s);
+        const auto deadline =
+            Clock::now() + std::chrono::milliseconds(2000);
+        ChildStatus st = pollChild(s.cp.pid);
+        while (st.state == ChildState::Running &&
+               Clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            st = pollChild(s.cp.pid);
+        }
+        if (st.state == ChildState::Running) {
+            killChild(s.cp.pid, SIGKILL);
+            waitChild(s.cp.pid);
+        }
+        s.alive = false;
+    }
+
+    return rows;
+}
+
+} // namespace vgiw

@@ -10,13 +10,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "driver/artifact_store.hh"
 #include "driver/compile_cache.hh"
@@ -242,6 +247,103 @@ TEST(ArtifactStore, DoublePublishIsBenign)
     ASSERT_TRUE(store.publish("t", "k", payload));  // same-key republish
     ArtifactStore::Blob blob;
     ASSERT_TRUE(store.load("t", "k", &blob));
+    ASSERT_EQ(blob.size, payload.size());
+    EXPECT_EQ(std::memcmp(blob.payload, payload.data(), payload.size()),
+              0);
+}
+
+// --------------------------------------------------------------------
+// Cross-process publication races (the shard-worker sharing contract:
+// `vgiw_run --shards N` forks workers that publish into one store).
+// Fork-based — keep these out of the sanitizer allowlist filters.
+// --------------------------------------------------------------------
+
+/** Fork @p body as a child process; returns its pid (aborts on error). */
+pid_t
+forkChild(const std::function<int()> &body)
+{
+    ::fflush(stdout);
+    ::fflush(stderr);
+    const pid_t pid = ::fork();
+    EXPECT_GE(pid, 0) << "fork failed";
+    if (pid == 0)
+        ::_exit(body());
+    return pid;
+}
+
+int
+waitExit(pid_t pid)
+{
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+TEST(ArtifactStoreRace, ConcurrentPublishSameKeyBothSucceed)
+{
+    ScratchDir dir("race_publish");
+    const std::string key = "trace|race|8x32";
+    const std::string payload(4096, 'r');
+
+    // Two processes hammer the same key concurrently. Publication is
+    // write-temp + atomic-rename, so every attempt must succeed and
+    // the final object must be one valid blob — never an interleaving.
+    auto publisher = [&]() -> int {
+        ArtifactStore store;
+        if (!store.open(dir.path))
+            return 2;
+        for (int i = 0; i < 50; ++i)
+            if (!store.publish("t", key, payload))
+                return 1;
+        return 0;
+    };
+    const pid_t child = forkChild(publisher);
+    EXPECT_EQ(publisher(), 0);  // parent races the child
+    EXPECT_EQ(waitExit(child), 0);
+
+    ArtifactStore fresh;
+    ASSERT_TRUE(fresh.open(dir.path));
+    ArtifactStore::Blob blob;
+    ASSERT_TRUE(fresh.load("t", key, &blob));
+    ASSERT_EQ(blob.size, payload.size());
+    EXPECT_EQ(std::memcmp(blob.payload, payload.data(), payload.size()),
+              0);
+    EXPECT_EQ(fresh.rejected(), 0u);
+}
+
+TEST(ArtifactStoreRace, FlippedByteUnderRepublishRace)
+{
+    ScratchDir dir("race_corrupt");
+    const std::string key = "trace|heal|16x64";
+    const std::string payload(2048, 'h');
+
+    ArtifactStore store;
+    ASSERT_TRUE(store.open(dir.path));
+    ASSERT_TRUE(store.publish("t", key, payload));
+    const std::string obj = store.objectPath("t", key);
+
+    // Corrupt the blob, then race two healers: each sees the
+    // checksum-mismatch miss and republishes. Concurrent republication
+    // over a corrupt object must leave exactly one valid blob.
+    flipByteAt(obj, 1111);
+    auto healer = [&]() -> int {
+        ArtifactStore s;
+        if (!s.open(dir.path))
+            return 2;
+        ArtifactStore::Blob b;
+        if (s.load("t", key, &b))
+            return 3;  // the corruption must demote to a miss
+        return s.publish("t", key, payload) ? 0 : 1;
+    };
+    const pid_t child = forkChild(healer);
+    EXPECT_EQ(healer(), 0);
+    EXPECT_EQ(waitExit(child), 0);
+
+    ArtifactStore fresh;
+    ASSERT_TRUE(fresh.open(dir.path));
+    ArtifactStore::Blob blob;
+    ASSERT_TRUE(fresh.load("t", key, &blob));
     ASSERT_EQ(blob.size, payload.size());
     EXPECT_EQ(std::memcmp(blob.payload, payload.data(), payload.size()),
               0);

@@ -165,6 +165,72 @@ TEST(ResultJournal, TruncatedTailLineIsDroppedNotFatal)
     EXPECT_EQ(loaded.entries.at("k2").jsonLine, "{\"cycles\":2}");
 }
 
+TEST(ResultJournal, DuplicateKeysResolveLastCompleteRecordWins)
+{
+    const std::string path = journalPath("dupes");
+    removeJournal(path);
+
+    // A restarted coordinator legitimately re-appends a key (the job
+    // re-ran after the first record's writer died post-fsync). The
+    // loader must keep the *last complete* record, and a torn
+    // duplicate must never shadow a complete one.
+    ResultJournal j;
+    std::string err;
+    ASSERT_TRUE(j.create(path, "d0d0d0d0d0d0d0d0", &err)) << err;
+    ASSERT_TRUE(j.append(entry("k1", false, "{\"attempt\":1}")));
+    ASSERT_TRUE(j.append(entry("k2", true, "{\"cycles\":7}")));
+    ASSERT_TRUE(j.append(entry("k1", true, "{\"attempt\":2}")));
+    j.close();
+
+    // A torn re-append of k1 after the complete records: dropped, and
+    // the complete k1 above still wins.
+    {
+        std::ofstream torn(path, std::ios::app | std::ios::binary);
+        torn << "{\"key\":\"k1\",\"ok\":false,\"gol";
+    }
+
+    auto loaded = ResultJournal::load(path);
+    ASSERT_TRUE(loaded.valid) << loaded.error;
+    ASSERT_EQ(loaded.entries.size(), 2u);
+    EXPECT_TRUE(loaded.entries.at("k1").ok);
+    EXPECT_EQ(loaded.entries.at("k1").jsonLine, "{\"attempt\":2}");
+    EXPECT_EQ(loaded.entries.at("k2").jsonLine, "{\"cycles\":7}");
+}
+
+TEST(ResultJournal, MalformedMidFileLineDoesNotHideLaterRecords)
+{
+    const std::string path = journalPath("midtorn");
+    removeJournal(path);
+
+    ResultJournal first;
+    std::string err;
+    ASSERT_TRUE(first.create(path, "beefbeefbeefbeef", &err)) << err;
+    ASSERT_TRUE(first.append(entry("k1", true, "{\"cycles\":1}")));
+    first.close();
+
+    // A predecessor died mid-append (no newline), then a successor
+    // re-opened the journal and kept appending. openAppend terminates
+    // the torn fragment so the successor's records start on a fresh
+    // line; load() must drop the bad line and keep everything after.
+    {
+        std::ofstream torn(path, std::ios::app | std::ios::binary);
+        torn << "{\"key\":\"k2\",\"ok\":tru";
+    }
+    ResultJournal second;
+    ASSERT_TRUE(second.openForResume(path, "beefbeefbeefbeef", &err))
+        << err;
+    EXPECT_EQ(second.entries().size(), 1u);
+    ASSERT_TRUE(second.append(entry("k2", true, "{\"cycles\":2}")));
+    ASSERT_TRUE(second.append(entry("k3", true, "{\"cycles\":3}")));
+    second.close();
+
+    auto loaded = ResultJournal::load(path);
+    ASSERT_TRUE(loaded.valid) << loaded.error;
+    ASSERT_EQ(loaded.entries.size(), 3u);
+    EXPECT_EQ(loaded.entries.at("k2").jsonLine, "{\"cycles\":2}");
+    EXPECT_EQ(loaded.entries.at("k3").jsonLine, "{\"cycles\":3}");
+}
+
 TEST(ResultJournal, CreateRotatesExistingJournalAside)
 {
     const std::string path = journalPath("rotate");

@@ -1,0 +1,43 @@
+# Shard-mode acceptance check, at the tool level:
+#
+#   cmake -DBIN=<vgiw_run> -DWORKDIR=<scratch dir>
+#         -P shard_identity_check.cmake
+#
+# A sharded sweep (forked worker processes, results over pipes) must
+# emit --json output byte-identical to the single-process engine: the
+# workers render rows with the same ResultTable code and the
+# coordinator re-emits those bytes verbatim.
+
+if (NOT DEFINED BIN OR NOT DEFINED WORKDIR)
+    message(FATAL_ERROR "BIN and WORKDIR must be defined")
+endif ()
+
+set(ref "${WORKDIR}/reference.json")
+set(shard "${WORKDIR}/sharded.json")
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(COMMAND ${BIN} --suite --arch vgiw --json "${ref}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "single-process run failed (rc=${rc}):\n${err}")
+endif ()
+
+execute_process(COMMAND ${BIN} --suite --arch vgiw --shards 3
+                        --json "${shard}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "sharded run failed (rc=${rc}):\n${err}")
+endif ()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${ref}" "${shard}"
+                RESULT_VARIABLE rc)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "sharded JSON differs from the single-process reference "
+            "(${ref} vs ${shard})")
+endif ()

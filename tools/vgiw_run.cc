@@ -14,6 +14,7 @@
  *            [--max-replay-cycles N] [--deadline-ms N]
  *            [--journal <file>] [--resume] [--retries N]
  *            [--artifact-dir <dir>]
+ *            [--shards N] [--shard-deadline-ms N]
  *   vgiw_run [--suite|--workload ...] --dry-run
  *
  * Single-workload mode runs one Table 2 workload (functional execution
@@ -53,6 +54,17 @@
  * byte-identical --json output. Corrupt or stale blobs demote to
  * misses (recompute + republish), never errors.
  *
+ * Crash containment: --shards N forks N supervised worker processes
+ * (src/driver/worker_pool) that run jobs through their own engines and
+ * stream results back over a checksummed pipe. A worker that
+ * segfaults, aborts, is OOM-killed or goes heartbeat-silent costs one
+ * job dispatch, not the sweep: the job is retried on a fresh worker
+ * and quarantined as `worker_crash` when its crash budget is
+ * exhausted. --shard-deadline-ms arms a coordinator-side per-job
+ * wall-clock kill. Surviving jobs' --json lines are byte-identical to
+ * a single-process run; SIGINT/SIGTERM drain the whole fleet with no
+ * orphaned workers.
+ *
  * Exit codes: 0 every job succeeded; 2 usage or configuration error
  * (nothing ran); 3 the run completed but some jobs failed (golden
  * mismatch, compile error, watchdog, panic); 4 the run was interrupted
@@ -78,6 +90,7 @@
 #include "driver/experiment_engine.hh"
 #include "driver/result_journal.hh"
 #include "driver/result_table.hh"
+#include "driver/worker_pool.hh"
 #include "ir/printer.hh"
 #include "workloads/workload.hh"
 
@@ -112,6 +125,12 @@ constexpr FlagSpec kFlags[] = {
      "core model(s) to run (default: all)"},
     {"--jobs", "<n>",
      "sweep worker threads (default: hardware concurrency)"},
+    {"--shards", "<n>",
+     "fork n supervised worker processes; hard faults cost one job, "
+     "not the sweep (--suite)"},
+    {"--shard-deadline-ms", "<n>",
+     "kill a shard worker whose job runs longer than n wall-clock ms "
+     "(--shards)"},
     {"--json", "<file>",
      "also write one JSON object per result (JSON lines)"},
     {"--metrics", nullptr,
@@ -306,7 +325,9 @@ main(int argc, char **argv)
     WatchdogConfig wd;
     bool suite = false, dump_ir = false, verbose = false;
     bool resume = false, dry_run = false, metrics_on = false;
-    unsigned jobs = 0, retries = 0;
+    unsigned jobs = 0, retries = 0, shards = 0;
+    uint64_t shard_deadline_ms = 0;
+    bool shards_set = false, shard_deadline_set = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -329,6 +350,12 @@ main(int argc, char **argv)
             arch = next();
         } else if (a == "--jobs") {
             jobs = unsigned(parseCount(a, next()));
+        } else if (a == "--shards") {
+            shards = unsigned(parseCount(a, next()));
+            shards_set = true;
+        } else if (a == "--shard-deadline-ms") {
+            shard_deadline_ms = parseCount(a, next());
+            shard_deadline_set = true;
         } else if (a == "--json") {
             json_path = next();
         } else if (a == "--metrics") {
@@ -399,6 +426,26 @@ main(int argc, char **argv)
     if (!suite && !artifact_dir.empty()) {
         std::fprintf(stderr,
                      "--artifact-dir is only meaningful with --suite\n");
+        return 2;
+    }
+    if (shards_set && !suite) {
+        std::fprintf(stderr, "--shards is only meaningful with --suite\n");
+        return 2;
+    }
+    if (shards_set && shards == 0) {
+        std::fprintf(stderr, "--shards requires at least one worker\n");
+        return 2;
+    }
+    if (shards_set && !trace_path.empty()) {
+        // Span traces live in the worker processes and die with them;
+        // pretending to merge them would emit a silently-partial trace.
+        std::fprintf(stderr,
+                     "--shards and --trace-out are mutually exclusive\n");
+        return 2;
+    }
+    if (shard_deadline_set && !shards_set) {
+        std::fprintf(stderr,
+                     "--shard-deadline-ms requires --shards\n");
         return 2;
     }
 
@@ -515,6 +562,115 @@ main(int argc, char **argv)
         // process: in-flight jobs finish, the journal stays intact.
         installDrainHandlers();
         opts.stop = &drainFlag();
+
+        if (shards_set) {
+            // Process-isolated mode: jobs run in forked, supervised
+            // worker processes; a hard fault (SIGSEGV, abort, OOM
+            // kill, stall) costs one job dispatch, not the sweep.
+            ShardOptions sopts;
+            sopts.shards = shards;
+            sopts.retry.maxAttempts = 1 + retries;
+            sopts.jobDeadlineMs = shard_deadline_ms;
+            sopts.collectMetrics = metrics_on;
+            sopts.journal = journal_path.empty() ? nullptr : &journal;
+            sopts.artifactStore = artifact_dir.empty() ? nullptr : &store;
+            sopts.stop = &drainFlag();
+            sopts.onFailure = [&failures](const ShardRow &r) {
+                ++failures;
+                std::fprintf(stderr, "FAILED %s [%s]: %s\n",
+                             r.workload.c_str(), r.arch.c_str(),
+                             r.error.c_str());
+            };
+            ShardSupervisor sup(sopts);
+            auto rows = sup.run(suite_jobs);
+            const SupervisorStats &st = sup.stats();
+
+            size_t restored = 0, drained = 0, quarantined = 0;
+            std::printf("%-28s %-6s %12s %11s %9s %9s\n", "workload",
+                        "arch", "cycles", "energy nJ", "L1 miss",
+                        "golden");
+            for (const auto &r : rows) {
+                if (r.drained) {
+                    ++drained;
+                    std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
+                                r.arch.c_str(), "not run (drained)");
+                    continue;
+                }
+                restored += r.restored;
+                quarantined += r.quarantined;
+                if (r.restored && r.ok) {
+                    std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
+                                r.arch.c_str(), "ok (restored)");
+                    continue;
+                }
+                if (!r.ok) {
+                    std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
+                                r.arch.c_str(),
+                                r.quarantined ? "QUARANTINED"
+                                              : "SKIPPED");
+                    continue;
+                }
+                if (!r.supported) {
+                    std::printf("%-28s %-6s %44s\n", r.workload.c_str(),
+                                r.arch.c_str(), "unsupported");
+                    continue;
+                }
+                std::printf("%-28s %-6s %12llu %11.1f %8.1f%% %9s\n",
+                            r.workload.c_str(), r.arch.c_str(),
+                            (unsigned long long)r.cycles,
+                            r.energySystemPj / 1e3,
+                            100.0 * r.l1MissRate,
+                            r.golden ? "ok" : "FAIL");
+            }
+            // Trace/compile work happened in the workers; their final
+            // Stats frames are the only census of it.
+            std::printf("\n%zu results, %d failures (traced %llu "
+                        "workloads once each, %llu compilations)\n",
+                        rows.size(), failures,
+                        (unsigned long long)st.functionalExecutions,
+                        (unsigned long long)st.compilations);
+            if (!artifact_dir.empty()) {
+                std::printf("artifact store: %llu hits, %llu misses, "
+                            "%llu bytes mapped\n",
+                            (unsigned long long)st.storeHits,
+                            (unsigned long long)st.storeMisses,
+                            (unsigned long long)st.storeBytesMapped);
+            }
+            if (restored)
+                std::printf("%zu restored from the journal\n", restored);
+            if (quarantined)
+                std::printf("%zu quarantined after exhausting retries\n",
+                            quarantined);
+            if (drained)
+                std::printf("%zu not run: interrupted%s\n", drained,
+                            journal_path.empty()
+                                ? ""
+                                : "; resume with --journal --resume");
+            std::printf("supervisor: %llu restarts, %llu crashes, "
+                        "%llu steals, %llu heartbeat misses\n",
+                        (unsigned long long)st.restarts,
+                        (unsigned long long)st.crashes,
+                        (unsigned long long)st.steals,
+                        (unsigned long long)st.heartbeatMisses);
+            if (metrics_on)
+                std::printf("supervisor metrics: %s\n",
+                            st.countersJson().c_str());
+
+            bool io_failed = false;
+            if (!json_path.empty() &&
+                !writeJson(json_path, sup.resultTable()))
+                io_failed = true;
+            journal.close();
+            if (std::string jerr = journal.writeError(); !jerr.empty()) {
+                std::fprintf(stderr, "journal: %s\n", jerr.c_str());
+                io_failed = true;
+            }
+            if (io_failed)
+                return 1;
+            if (drainRequested())
+                return 4;
+            return failures ? 3 : 0;
+        }
 
         ExperimentEngine engine(opts);
         auto results = engine.run(suite_jobs);
