@@ -1,0 +1,276 @@
+#include "common/net.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace vgiw
+{
+
+namespace
+{
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/** getaddrinfo wrapper; caller owns the returned list. */
+addrinfo *
+resolve(const std::string &host, uint16_t port, bool passive,
+        std::string *error)
+{
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = passive ? AI_PASSIVE : 0;
+    char portStr[8];
+    std::snprintf(portStr, sizeof portStr, "%u", unsigned(port));
+    addrinfo *res = nullptr;
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 portStr, &hints, &res);
+    if (rc != 0) {
+        if (error)
+            *error = std::string("resolve '") + host +
+                     "': " + ::gai_strerror(rc);
+        return nullptr;
+    }
+    return res;
+}
+
+bool
+setBlocking(int fd, bool blocking)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int next = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+} // namespace
+
+bool
+parseHostPort(std::string_view spec, HostPort *out, std::string *error,
+              bool allowEmptyHost)
+{
+    std::string_view host;
+    std::string_view portPart;
+    if (!spec.empty() && spec.front() == '[') {
+        // [v6::literal]:port
+        const size_t close = spec.find(']');
+        if (close == std::string_view::npos || close + 1 >= spec.size() ||
+            spec[close + 1] != ':') {
+            if (error)
+                *error = "malformed endpoint '" + std::string(spec) +
+                         "' (expected [host]:port)";
+            return false;
+        }
+        host = spec.substr(1, close - 1);
+        portPart = spec.substr(close + 2);
+    } else {
+        const size_t colon = spec.rfind(':');
+        if (colon == std::string_view::npos) {
+            if (error)
+                *error = "malformed endpoint '" + std::string(spec) +
+                         "' (expected host:port)";
+            return false;
+        }
+        host = spec.substr(0, colon);
+        portPart = spec.substr(colon + 1);
+    }
+    if (host.empty() && !allowEmptyHost) {
+        if (error)
+            *error = "malformed endpoint '" + std::string(spec) +
+                     "' (empty host)";
+        return false;
+    }
+    if (portPart.empty()) {
+        if (error)
+            *error = "malformed endpoint '" + std::string(spec) +
+                     "' (empty port)";
+        return false;
+    }
+    unsigned long port = 0;
+    for (char c : portPart) {
+        if (c < '0' || c > '9') {
+            if (error)
+                *error = "malformed port in '" + std::string(spec) + "'";
+            return false;
+        }
+        port = port * 10 + unsigned(c - '0');
+        if (port > 65535) {
+            if (error)
+                *error = "port out of range in '" + std::string(spec) + "'";
+            return false;
+        }
+    }
+    out->host = std::string(host);
+    out->port = uint16_t(port);
+    return true;
+}
+
+int
+listenTcp(const std::string &host, uint16_t port, uint16_t *boundPort,
+          std::string *error)
+{
+    addrinfo *res = resolve(host, port, /*passive=*/true, error);
+    if (!res)
+        return -1;
+    int fd = -1;
+    std::string lastErr = "no usable address";
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            lastErr = errnoString("socket");
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd, 16) != 0) {
+            lastErr = errnoString("bind/listen");
+            ::close(fd);
+            fd = -1;
+            continue;
+        }
+        break;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        if (error)
+            *error = lastErr;
+        return -1;
+    }
+    if (boundPort) {
+        sockaddr_storage ss = {};
+        socklen_t slen = sizeof ss;
+        *boundPort = port;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&ss), &slen) ==
+            0) {
+            if (ss.ss_family == AF_INET)
+                *boundPort = ntohs(
+                    reinterpret_cast<sockaddr_in *>(&ss)->sin_port);
+            else if (ss.ss_family == AF_INET6)
+                *boundPort = ntohs(
+                    reinterpret_cast<sockaddr_in6 *>(&ss)->sin6_port);
+        }
+    }
+    return fd;
+}
+
+int
+acceptTcp(int listenFd, bool interruptible)
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR && !interruptible)
+            continue;
+        return -1;
+    }
+}
+
+int
+connectTcp(const std::string &host, uint16_t port, uint64_t timeoutMs,
+           std::string *error)
+{
+    addrinfo *res = resolve(host, port, /*passive=*/false, error);
+    if (!res)
+        return -1;
+    std::string lastErr = "no usable address";
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            lastErr = errnoString("socket");
+            continue;
+        }
+        if (!setBlocking(fd, false)) {
+            lastErr = errnoString("fcntl");
+            ::close(fd);
+            fd = -1;
+            continue;
+        }
+        int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (rc != 0 && errno == EINPROGRESS) {
+            pollfd pfd = {fd, POLLOUT, 0};
+            rc = ::poll(&pfd, 1, int(timeoutMs));
+            if (rc == 0) {
+                lastErr = "connect timed out";
+                rc = -1;
+            } else if (rc > 0) {
+                int soErr = 0;
+                socklen_t slen = sizeof soErr;
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &slen);
+                if (soErr != 0) {
+                    errno = soErr;
+                    lastErr = errnoString("connect");
+                    rc = -1;
+                } else {
+                    rc = 0;
+                }
+            } else {
+                lastErr = errnoString("poll");
+            }
+        } else if (rc != 0) {
+            lastErr = errnoString("connect");
+        }
+        if (rc != 0 || !setBlocking(fd, true)) {
+            ::close(fd);
+            fd = -1;
+            continue;
+        }
+        // Small frames, request/response latencies matter more than
+        // throughput: disable Nagle so heartbeats are not batched.
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        break;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0 && error)
+        *error = lastErr;
+    return fd;
+}
+
+bool
+setSocketTimeouts(int fd, uint64_t recvMs, uint64_t sendMs)
+{
+    const auto toTv = [](uint64_t ms) {
+        timeval tv = {};
+        tv.tv_sec = time_t(ms / 1000);
+        tv.tv_usec = suseconds_t((ms % 1000) * 1000);
+        return tv;
+    };
+    bool ok = true;
+    if (recvMs > 0) {
+        const timeval tv = toTv(recvMs);
+        ok &= ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+    }
+    if (sendMs > 0) {
+        const timeval tv = toTv(sendMs);
+        ok &= ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) == 0;
+    }
+    return ok;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace vgiw

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal TCP plumbing for the remote sweep service.
+ *
+ * The frame protocol (common/subprocess.hh) is transport-agnostic —
+ * it only needs a file descriptor that delivers bytes in order. This
+ * file provides the socket half: bind/listen for `vgiw_sweepd`,
+ * connect-with-timeout for the `RemotePool` client, and the
+ * SO_RCVTIMEO/SO_SNDTIMEO knobs that turn a stalled peer into a
+ * `ReadStatus::Timeout` / failed write instead of a hung coordinator.
+ *
+ * Everything returns plain fds so the existing frame/poll machinery
+ * works unchanged; errors come back as human-readable strings because
+ * they end up verbatim in supervisor quarantine rows and daemon logs.
+ *
+ * Scope deliberately excluded: TLS, authentication, and multi-homed
+ * listen lists. The service trusts its network (a lab fleet or an SSH
+ * tunnel); DESIGN.md §16 records that boundary.
+ */
+
+#ifndef VGIW_COMMON_NET_HH
+#define VGIW_COMMON_NET_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vgiw
+{
+
+/** A parsed "host:port" endpoint. */
+struct HostPort
+{
+    std::string host;
+    uint16_t port = 0;
+};
+
+/**
+ * Parse "host:port" (also "[v6::addr]:port"). Host may be empty only
+ * when @p allowEmptyHost (listen-side "0.0.0.0" shorthand ":7433").
+ * False with @p error set on malformed input — port 0 is allowed
+ * (ephemeral bind) but non-numeric or out-of-range ports are not.
+ */
+bool parseHostPort(std::string_view spec, HostPort *out,
+                   std::string *error, bool allowEmptyHost = false);
+
+/**
+ * Bind + listen on host:port. Returns the listening fd, or -1 with
+ * @p error set. Port 0 binds an ephemeral port; the actual port is
+ * written to @p boundPort (always written on success). SO_REUSEADDR is
+ * set so a restarted daemon does not fight TIME_WAIT.
+ */
+int listenTcp(const std::string &host, uint16_t port, uint16_t *boundPort,
+              std::string *error);
+
+/**
+ * Accept one connection (blocking; retries EINTR unless @p interruptible,
+ * in which case EINTR returns -1 with errno preserved so the caller can
+ * check its drain flag). Returns the connection fd or -1.
+ */
+int acceptTcp(int listenFd, bool interruptible = false);
+
+/**
+ * Connect to host:port with a bounded wait: a non-blocking connect
+ * polled up to @p timeoutMs, then the socket is returned to blocking
+ * mode. Returns the fd, or -1 with @p error set ("connection refused",
+ * "connect timed out", resolver failures...). A refused connection
+ * (daemon dead) fails fast; only a black-holed host pays the full
+ * timeout.
+ */
+int connectTcp(const std::string &host, uint16_t port, uint64_t timeoutMs,
+               std::string *error);
+
+/**
+ * Set SO_RCVTIMEO / SO_SNDTIMEO (milliseconds; 0 leaves that direction
+ * unbounded). With a receive timeout, readFrame reports a stalled peer
+ * as ReadStatus::Timeout; with a send timeout, writeFrame to a stalled
+ * peer fails instead of blocking forever.
+ */
+bool setSocketTimeouts(int fd, uint64_t recvMs, uint64_t sendMs);
+
+/** Close an fd if >= 0 (EINTR-safe best effort). */
+void closeFd(int fd);
+
+} // namespace vgiw
+
+#endif // VGIW_COMMON_NET_HH

@@ -4,6 +4,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -18,21 +19,38 @@ namespace vgiw
 namespace
 {
 
-/** FNV-1a over the payload — the frame checksum. (Deliberately local:
- * the store's fnv1a lives in a driver header and common must not
- * depend on driver.) */
+/** FNV-1a — the frame checksum. (Deliberately local: the store's
+ * fnv1a lives in a driver header and common must not depend on
+ * driver.) */
 uint64_t
-frameChecksum(std::string_view bytes)
+fnv1aStep(uint64_t h, const void *data, size_t len)
 {
-    uint64_t h = 14695981039346656037ull;
-    for (char c : bytes) {
-        h ^= static_cast<unsigned char>(c);
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
         h *= 1099511628211ull;
     }
     return h;
 }
 
-/** Write all of @p len bytes, retrying EINTR and partial writes. */
+/** Checksum over length + type + payload: a flipped header bit is
+ * caught like a flipped payload bit. (A corrupted *length* field still
+ * desynchronises the byte stream — the reader consumes the wrong
+ * count — which is why CorruptRecord recovery is paired with a
+ * consecutive-corruption cap at every call site.) */
+uint64_t
+frameChecksum(uint32_t len, uint8_t type, std::string_view payload)
+{
+    uint64_t h = 14695981039346656037ull;
+    h = fnv1aStep(h, &len, sizeof len);
+    h = fnv1aStep(h, &type, sizeof type);
+    return fnv1aStep(h, payload.data(), payload.size());
+}
+
+/** Write all of @p len bytes, retrying EINTR and partial writes. A
+ * socket whose SO_SNDTIMEO expires (stalled peer) fails with EAGAIN —
+ * reported as an ordinary write failure the caller treats as a dead
+ * link. */
 bool
 writeAll(int fd, const void *data, size_t len)
 {
@@ -68,6 +86,11 @@ readAll(int fd, void *out, size_t len, bool *started)
                     return ReadStatus::Interrupted;
                 continue;
             }
+            // Only fds with SO_RCVTIMEO set (sockets) produce EAGAIN
+            // here: no data arrived within the timer — before a frame
+            // that is a quiet peer, mid-frame it is a stall.
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return ReadStatus::Timeout;
             return ReadStatus::Error;
         }
         if (n == 0)
@@ -81,22 +104,67 @@ readAll(int fd, void *out, size_t len, bool *started)
 
 } // namespace
 
-bool
-writeFrame(int fd, FrameType type, std::string_view payload)
+namespace
 {
-    if (payload.size() > kMaxFrameBytes)
-        return false;
+
+bool
+writeFrameWithSum(int fd, FrameType type, std::string_view payload,
+                  uint64_t sum)
+{
     // Header: u32 length, u8 type, u64 checksum — fixed layout, native
-    // endianness (coordinator and workers are fork()s of one process).
+    // endianness (pipe peers are fork()s of one process; TCP peers are
+    // gated by the versioned Hello handshake and a same-architecture
+    // fleet assumption).
     char header[13];
     const uint32_t len = uint32_t(payload.size());
     const uint8_t t = uint8_t(type);
-    const uint64_t sum = frameChecksum(payload);
     std::memcpy(header, &len, 4);
     std::memcpy(header + 4, &t, 1);
     std::memcpy(header + 5, &sum, 8);
     return writeAll(fd, header, sizeof header) &&
            writeAll(fd, payload.data(), payload.size());
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, FrameType type, std::string_view payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    return writeFrameWithSum(
+        fd, type, payload,
+        frameChecksum(uint32_t(payload.size()), uint8_t(type), payload));
+}
+
+bool
+writeCorruptFrameForTest(int fd, FrameType type, std::string_view payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    const uint64_t good = frameChecksum(uint32_t(payload.size()),
+                                        uint8_t(type), payload);
+    return writeFrameWithSum(fd, type, payload, good ^ 1);
+}
+
+bool
+writeFrameStalledForTest(int fd, FrameType type, std::string_view payload,
+                         int millis)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    char header[13];
+    const uint32_t len = uint32_t(payload.size());
+    const uint8_t t = uint8_t(type);
+    const uint64_t sum = frameChecksum(len, t, payload);
+    std::memcpy(header, &len, 4);
+    std::memcpy(header + 4, &t, 1);
+    std::memcpy(header + 5, &sum, 8);
+    if (!writeAll(fd, header, sizeof header))
+        return false;
+    struct timespec ts = {millis / 1000, (millis % 1000) * 1000000L};
+    ::nanosleep(&ts, nullptr);
+    return writeAll(fd, payload.data(), payload.size());
 }
 
 ReadStatus
@@ -124,8 +192,11 @@ readFrame(int fd, Frame *out)
         if (st != ReadStatus::Ok)
             return st == ReadStatus::Eof ? ReadStatus::Corrupt : st;
     }
-    if (frameChecksum(out->payload) != sum)
-        return ReadStatus::Corrupt;
+    // The declared length was plausible and fully consumed: the stream
+    // is still frame-aligned, so a checksum mismatch here is the
+    // recoverable grade — callers may skip exactly this record.
+    if (frameChecksum(len, type, out->payload) != sum)
+        return ReadStatus::CorruptRecord;
     return ReadStatus::Ok;
 }
 

@@ -1,7 +1,8 @@
 /**
  * @file
- * Process spawning and the framed pipe protocol for supervised worker
- * fleets.
+ * Process spawning and the framed wire protocol for supervised worker
+ * fleets — over pipes (same-machine shards, PR 8) and TCP sockets
+ * (remote sweep daemons, `vgiw_sweepd`).
  *
  * The in-process experiment engine contains every *soft* fault — a
  * typed exception, a watchdog trip, a captured panic — but a hard
@@ -16,22 +17,39 @@
  *    `_exit`s, never unwinding the parent's stack or flushing its
  *    stdio twice. On Linux the child asks for SIGTERM on parent death
  *    (PR_SET_PDEATHSIG), so a crashed coordinator cannot leak workers.
- *  - **frames** — every message on a pipe is length + type + FNV-1a
- *    checksum + payload. Pipes deliver bytes, not messages; the frame
- *    header re-creates message boundaries, and the checksum turns a
- *    torn or corrupted write (a worker dying mid-frame) into a
- *    detectable `Corrupt` read instead of a desynchronised protocol.
+ *  - **frames** — every message is length + type + FNV-1a checksum +
+ *    payload. Pipes and sockets deliver bytes, not messages; the frame
+ *    header re-creates message boundaries. The checksum covers the
+ *    length and type bytes as well as the payload, so a flipped header
+ *    bit is caught like a flipped payload bit. Detected corruption is
+ *    split into two grades: `CorruptRecord` (the stream is still
+ *    aligned — the declared payload length was plausible and fully
+ *    consumed, only the checksum failed; the reader may skip exactly
+ *    this record and keep parsing) and `Corrupt` (torn frame, mid-frame
+ *    EOF, or an implausible length — the stream is desynchronised and
+ *    must be abandoned).
  *  - **reaping** — waitpid wrappers that classify how a child ended
  *    (clean exit / signal / still running) and render it for error
  *    messages ("killed by signal 11 (SIGSEGV)").
  *
- * Blocking and signals: reads retry EINTR once any byte of a frame has
- * arrived (a frame, once started, is finished), but an EINTR before
- * the first byte returns `Interrupted` so a worker blocked waiting for
- * its next job can notice a SIGTERM drain promptly. Writers must
+ * Blocking, signals, timeouts: reads and writes retry EINTR and short
+ * transfers (pipes rarely split a 13-byte header; TCP will, and a
+ * one-byte-at-a-time feed must reassemble — tests pin this). An EINTR
+ * before the first byte returns `Interrupted` so a worker blocked
+ * waiting for its next job can notice a SIGTERM drain promptly. On
+ * sockets with SO_RCVTIMEO/SO_SNDTIMEO set, an expired timer surfaces
+ * as `Timeout` — a peer that stalls mid-frame is detected instead of
+ * hanging the coordinator forever (pipes never have timeouts set, so
+ * the pipe transport never sees this status). Writers must
  * ignoreSigpipe() first: a write to a dead peer then fails with EPIPE
  * instead of killing the process — exactly the failure the supervisor
  * exists to contain.
+ *
+ * Endianness: headers use native byte order. For pipes the peers are
+ * fork()s of one process; for TCP the handshake (FrameType::Hello)
+ * carries a protocol version and the suite fingerprint, and the fleet
+ * is assumed same-architecture — a mismatched peer fails the
+ * handshake rather than silently misparsing frames.
  */
 
 #ifndef VGIW_COMMON_SUBPROCESS_HH
@@ -55,6 +73,9 @@ enum class FrameType : uint8_t
     Heartbeat = 3, ///< worker -> coordinator: liveness beacon
     Stats = 4,     ///< worker -> coordinator: final cache/store counters
     Shutdown = 5,  ///< coordinator -> worker: drain and exit cleanly
+    Hello = 6,     ///< client -> daemon: version + sweep fingerprint
+    HelloAck = 7,  ///< daemon -> client: accept/reject the handshake
+    JobCrash = 8,  ///< daemon -> client: a local worker died on a job
 };
 
 /** One decoded message. */
@@ -67,11 +88,15 @@ struct Frame
 /** Outcome of readFrame. */
 enum class ReadStatus
 {
-    Ok,          ///< a complete, checksum-valid frame was read
-    Eof,         ///< orderly end of stream (peer closed the pipe)
-    Interrupted, ///< EINTR before any byte arrived (check drain flags)
-    Corrupt,     ///< torn frame, bad checksum or oversized length
-    Error,       ///< read(2) failed
+    Ok,            ///< a complete, checksum-valid frame was read
+    Eof,           ///< orderly end of stream (peer closed the pipe)
+    Interrupted,   ///< EINTR before any byte arrived (check drain flags)
+    Timeout,       ///< SO_RCVTIMEO expired (sockets only): peer stalled
+    CorruptRecord, ///< checksum mismatch but stream still aligned: the
+                   ///< reader may skip this one record and continue
+    Corrupt,       ///< torn frame, mid-frame EOF or oversized length:
+                   ///< the stream is desynchronised, abandon it
+    Error,         ///< read(2) failed
 };
 
 /** Frames larger than this are rejected as Corrupt: a length field
@@ -80,9 +105,10 @@ constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
 /**
  * Write one frame to @p fd: header (payload length, type, FNV-1a
- * checksum of the payload) then the payload, retrying partial writes
- * and EINTR. False on any write failure (EPIPE when the peer died —
- * call ignoreSigpipe() once per process first).
+ * checksum of length + type + payload) then the payload, retrying
+ * partial writes and EINTR. False on any write failure (EPIPE when the
+ * peer died — call ignoreSigpipe() once per process first; EAGAIN when
+ * an SO_SNDTIMEO timer expired on a stalled socket).
  */
 bool writeFrame(int fd, FrameType type, std::string_view payload);
 
@@ -90,9 +116,30 @@ bool writeFrame(int fd, FrameType type, std::string_view payload);
  * Read one frame from @p fd (blocking). EINTR before the first header
  * byte returns Interrupted; once a frame has started, reads are
  * retried until it completes or the stream ends (a mid-frame EOF is
- * Corrupt — the peer died mid-write).
+ * Corrupt — the peer died mid-write). A checksum mismatch on a frame
+ * whose length field was plausible is CorruptRecord: exactly
+ * payload-length bytes were consumed, so the caller may skip the
+ * record and keep reading the same stream.
  */
 ReadStatus readFrame(int fd, Frame *out);
+
+/**
+ * Test hook: write a frame whose checksum is deliberately wrong but
+ * whose length and type are valid, so the reader sees CorruptRecord
+ * with the stream still aligned. Used by the corruption-recovery tests
+ * and the `badframe`/`corruptframe` fault hooks; never by real traffic.
+ */
+bool writeCorruptFrameForTest(int fd, FrameType type,
+                              std::string_view payload);
+
+/**
+ * Test hook: write a frame's header, sleep @p millis, then write the
+ * payload — a peer that stalls mid-frame. Drives the reader's
+ * SO_RCVTIMEO Timeout path (the `stallframe` network fault); never
+ * used by real traffic.
+ */
+bool writeFrameStalledForTest(int fd, FrameType type,
+                              std::string_view payload, int millis);
 
 /** One spawned worker process and its two pipe ends (parent's view). */
 struct ChildProcess

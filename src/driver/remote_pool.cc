@@ -1,0 +1,1273 @@
+#include "driver/remote_pool.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/backoff.hh"
+#include "common/metrics.hh"
+#include "common/subprocess.hh"
+#include "driver/artifact_store.hh"
+#include "driver/core_model.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+envMsOverride(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    return (end && *end == '\0') ? n : fallback;
+}
+
+int64_t
+msSince(Clock::time_point t, Clock::time_point now)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now - t)
+        .count();
+}
+
+/** See src/driver/worker_pool.cc — same rationale, same cap. */
+constexpr unsigned kMaxConsecutiveCorrupt = 3;
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        const size_t comma = csv.find(',', start);
+        const size_t end = comma == std::string::npos ? csv.size() : comma;
+        if (end > start)
+            out.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SweepService (daemon side).
+
+SweepService::SweepService(SweepServiceOptions opts)
+    : opts_(std::move(opts))
+{
+    // The daemon arms only the network kinds; process kinds in the
+    // same env var are inherited by the forked workers, which arm them
+    // themselves — one variable can drive both layers.
+    const TestFault f = parseTestFault(std::getenv("VGIW_TEST_FAULT"));
+    if (f.isNetwork())
+        fault_ = f;
+}
+
+bool
+SweepService::sendToClient(int fd, FrameType type,
+                           std::string_view payload)
+{
+    const uint64_t frameNo = ++framesSent_;
+    if (fault_.kind == TestFault::Kind::Drop && !dropFired_ &&
+        frameNo > fault_.index) {
+        // Simulated link cut: stop sending and let the caller observe
+        // a dead client socket. Fires once per process so the client's
+        // reconnect finds a healthy daemon.
+        dropFired_ = true;
+        ::shutdown(fd, SHUT_RDWR);
+        return false;
+    }
+    if (fault_.kind == TestFault::Kind::CorruptFrame && !corruptFired_ &&
+        frameNo == fault_.index) {
+        corruptFired_ = true;
+        return writeCorruptFrameForTest(fd, type, payload);
+    }
+    if (fault_.kind == TestFault::Kind::StallFrame && !stallFired_ &&
+        frameNo == fault_.index) {
+        stallFired_ = true;
+        return writeFrameStalledForTest(
+            fd, type, payload, fault_.millis ? fault_.millis : 30000);
+    }
+    return writeFrame(fd, type, payload);
+}
+
+void
+SweepService::serveConnection(int fd)
+{
+    ignoreSigpipe();
+    // Handshake under a timeout: a connection that never speaks must
+    // not wedge the (single-connection) daemon. The recv timeout stays
+    // on for the sweep — reads are poll-gated, so it only fires on a
+    // client stalled mid-frame, which is a dead link.
+    setSocketTimeouts(fd, 10000, 10000);
+
+    Frame f;
+    if (readFrame(fd, &f) != ReadStatus::Ok ||
+        f.type != FrameType::Hello) {
+        if (opts_.verbose)
+            std::fprintf(stderr, "sweepd: connection sent no Hello\n");
+        closeFd(fd);
+        return;
+    }
+
+    HelloMsg hello;
+    HelloAckMsg ack;
+    ack.version = fault_.kind == TestFault::Kind::Skew
+                      ? opts_.advertiseVersion + 1
+                      : opts_.advertiseVersion;
+    ack.shards = std::max(opts_.shards, 1u);
+    ack.daemonHasStore = opts_.artifactStore != nullptr;
+
+    std::vector<ExperimentJob> jobs;
+    if (!decodeHelloMsg(f.payload, &hello)) {
+        ack.reason = "malformed Hello payload";
+    } else if (hello.version != ack.version) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "protocol version skew (daemon %u, client %u)",
+                      unsigned(ack.version), unsigned(hello.version));
+        ack.reason = buf;
+    } else {
+        // Rebuild the sweep from the carried config knobs and
+        // recompute its hash: any divergence — different binary,
+        // different workload registry, a knob the handshake does not
+        // carry — refuses cleanly here instead of misinterpreting job
+        // indices later.
+        if (!opts_.jobsOverride.empty()) {
+            jobs = opts_.jobsOverride;
+        } else {
+            const auto archs = splitCsv(hello.archsCsv);
+            std::string bad;
+            for (const auto &a : archs) {
+                if (!isKnownArchitecture(a)) {
+                    bad = "unknown architecture '" + a + "'";
+                    break;
+                }
+            }
+            if (archs.empty())
+                bad = "empty architecture list";
+            if (!bad.empty()) {
+                ack.reason = bad;
+            } else {
+                VgiwConfig vcfg;
+                vcfg.lvcBytes = hello.lvcBytes;
+                vcfg.cvtCapacityBits = hello.cvtCapacityBits;
+                vcfg.enableReplication = hello.enableReplication;
+                vcfg.enableMemoryCoalescing =
+                    hello.enableMemoryCoalescing;
+                WatchdogConfig wd;
+                wd.maxReplayCycles = hello.maxReplayCycles;
+                wd.deadlineMs = hello.deadlineMs;
+                SystemConfig cfg;
+                cfg.vgiw = vcfg;
+                cfg.setWatchdog(wd);
+                if (std::string msg = cfg.validate(archs.front());
+                    !msg.empty()) {
+                    ack.reason = "invalid configuration: " + msg;
+                } else {
+                    jobs = ExperimentEngine::suiteJobs(cfg, archs);
+                }
+            }
+        }
+        if (ack.reason.empty() && !jobs.empty()) {
+            const std::string hash = ExperimentEngine::sweepHash(jobs);
+            if (hash != hello.sweepHash) {
+                ack.reason = "sweep hash mismatch (daemon " + hash +
+                             ", client " + hello.sweepHash +
+                             "): differing binaries or registries";
+            }
+        }
+        ack.ok = ack.reason.empty() && !jobs.empty();
+        if (!ack.ok && ack.reason.empty())
+            ack.reason = "empty sweep";
+    }
+
+    if (opts_.verbose && !ack.ok)
+        std::fprintf(stderr, "sweepd: handshake refused: %s\n",
+                     ack.reason.c_str());
+    if (!sendToClient(fd, FrameType::HelloAck, encodeHelloAckMsg(ack)) ||
+        !ack.ok) {
+        closeFd(fd);
+        return;
+    }
+    if (opts_.verbose) {
+        std::fprintf(stderr,
+                     "sweepd: sweep accepted (%zu jobs, %u shards)\n",
+                     jobs.size(), ack.shards);
+    }
+
+    // -----------------------------------------------------------------
+    // The local fleet: the same forked runShardWorker body the pipe
+    // supervisor uses, driven by Job frames relayed off the socket.
+    struct WSlot
+    {
+        size_t id = 0;
+        ChildProcess cp{};
+        bool alive = false;
+        bool busy = false;
+        uint64_t job = 0;
+        Clock::time_point backoffUntil{};
+        unsigned consecutiveCrashes = 0;
+        BackoffSchedule backoff{};
+    };
+    std::vector<WSlot> slots(ack.shards);
+    for (size_t s = 0; s < slots.size(); ++s) {
+        slots[s].id = s;
+        slots[s].backoff.baseMs = 100;
+        slots[s].backoff.capMs = 2000;
+        slots[s].backoff.seed = (uint64_t(::getpid()) << 32) ^ (s + 1);
+    }
+
+    ShardWorkerOptions wopts;
+    wopts.retry.maxAttempts = std::max(hello.retryMaxAttempts, 1u);
+    wopts.collectMetrics = hello.collectMetrics;
+    wopts.artifactStore = opts_.artifactStore;
+    wopts.heartbeatIntervalMs = opts_.heartbeatIntervalMs;
+
+    auto spawnW = [&](WSlot &s) {
+        std::vector<int> other_fds;
+        for (const WSlot &o : slots) {
+            if (&o == &s || !o.alive)
+                continue;
+            other_fds.push_back(o.cp.toChild);
+            other_fds.push_back(o.cp.fromChild);
+        }
+        other_fds.push_back(fd);  // the client socket stays ours
+        std::string err;
+        const bool ok = spawnChild(
+            [&jobs, other_fds, wopts](int in_fd, int out_fd) {
+                for (int ofd : other_fds)
+                    ::close(ofd);
+                return runShardWorker(in_fd, out_fd, jobs, wopts);
+            },
+            &s.cp, &err);
+        if (!ok) {
+            if (opts_.verbose)
+                std::fprintf(stderr, "sweepd: worker %zu: %s\n", s.id,
+                             err.c_str());
+            s.backoffUntil = Clock::now() +
+                             std::chrono::milliseconds(1000);
+            return false;
+        }
+        s.alive = true;
+        s.busy = false;
+        return true;
+    };
+    for (WSlot &s : slots)
+        spawnW(s);
+
+    StatsMsg statsAccum;
+    std::deque<uint64_t> backlog;  // Job indices awaiting an idle worker
+    uint64_t jobsReceived = 0;     // Job frames accepted this connection
+    bool clientGone = false;
+    bool orderly = false;
+    unsigned clientCorrupt = 0;
+    auto nextBeat = Clock::now();
+
+    auto killSlot = [&](WSlot &s) {
+        if (!s.alive)
+            return;
+        if (s.cp.toChild >= 0)
+            ::close(s.cp.toChild);
+        if (s.cp.fromChild >= 0)
+            ::close(s.cp.fromChild);
+        s.cp.toChild = s.cp.fromChild = -1;
+        killChild(s.cp.pid, SIGKILL);
+        waitChild(s.cp.pid);
+        s.alive = false;
+    };
+
+    while (!clientGone && !orderly) {
+        // Dispatch relayed jobs onto idle workers.
+        for (WSlot &s : slots) {
+            if (backlog.empty())
+                break;
+            if (!s.alive || s.busy)
+                continue;
+            const uint64_t index = backlog.front();
+            std::string payload;
+            ByteWriter w(payload);
+            w.u64(index);
+            if (!writeFrame(s.cp.toChild, FrameType::Job, payload))
+                continue;  // dying worker; the reap below handles it
+            backlog.pop_front();
+            s.busy = true;
+            s.job = index;
+        }
+        // Respawn dead workers (they are needed even while idle: the
+        // client sizes its in-flight window to ack.shards).
+        const auto now = Clock::now();
+        for (WSlot &s : slots) {
+            if (!s.alive && now >= s.backoffUntil)
+                spawnW(s);
+        }
+
+        std::vector<struct pollfd> fds;
+        std::vector<int> owner;  // -1 = client, else slot id
+        fds.push_back({fd, POLLIN, 0});
+        owner.push_back(-1);
+        for (size_t s = 0; s < slots.size(); ++s) {
+            if (slots[s].alive && slots[s].cp.fromChild >= 0) {
+                fds.push_back({slots[s].cp.fromChild, POLLIN, 0});
+                owner.push_back(int(s));
+            }
+        }
+        const int n = ::poll(fds.data(), nfds_t(fds.size()), 50);
+        if (n > 0) {
+            for (size_t k = 0; k < fds.size(); ++k) {
+                if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                if (owner[k] == -1) {
+                    // Client traffic.
+                    Frame frame;
+                    const ReadStatus st = readFrame(fd, &frame);
+                    if (st == ReadStatus::Ok) {
+                        clientCorrupt = 0;
+                        if (frame.type == FrameType::Shutdown) {
+                            orderly = true;
+                        } else if (frame.type == FrameType::Job) {
+                            ByteReader rd(frame.payload.data(),
+                                          frame.payload.size());
+                            const uint64_t index = rd.u64();
+                            if (!rd.done() || index >= jobs.size()) {
+                                clientGone = true;  // protocol breach
+                            } else {
+                                ++jobsReceived;
+                                backlog.push_back(index);
+                            }
+                        }
+                    } else if (st == ReadStatus::Interrupted) {
+                        // re-poll
+                    } else if (st == ReadStatus::CorruptRecord) {
+                        if (++clientCorrupt >= kMaxConsecutiveCorrupt)
+                            clientGone = true;
+                    } else {
+                        clientGone = true;
+                    }
+                } else {
+                    WSlot &s = slots[size_t(owner[k])];
+                    if (!s.alive)
+                        continue;
+                    Frame frame;
+                    const ReadStatus st =
+                        readFrame(s.cp.fromChild, &frame);
+                    if (st == ReadStatus::Ok) {
+                        switch (frame.type) {
+                          case FrameType::Result:
+                            s.busy = false;
+                            s.consecutiveCrashes = 0;
+                            // Verbatim relay: the worker-rendered
+                            // bytes pass through untouched — the
+                            // client's byte-identity rides on this.
+                            if (!sendToClient(fd, FrameType::Result,
+                                              frame.payload))
+                                clientGone = true;
+                            break;
+                          case FrameType::Stats: {
+                            StatsMsg m;
+                            if (decodeStatsMsg(frame.payload, &m)) {
+                                statsAccum.functionalExecutions +=
+                                    m.functionalExecutions;
+                                statsAccum.compilations +=
+                                    m.compilations;
+                                statsAccum.storeHits += m.storeHits;
+                                statsAccum.storeMisses += m.storeMisses;
+                                statsAccum.storeBytesMapped +=
+                                    m.storeBytesMapped;
+                            }
+                            break;
+                          }
+                          case FrameType::Heartbeat:
+                          default:
+                            break;  // worker liveness is waitpid's job
+                        }
+                    } else if (st == ReadStatus::CorruptRecord) {
+                        // Skip the record; a worker spewing garbage
+                        // dies by the reap below soon enough.
+                    } else if (st != ReadStatus::Interrupted) {
+                        // Pipe broken: reap handles the death.
+                    }
+                }
+            }
+        }
+
+        // Reap dead workers; a busy one's job becomes a JobCrash frame
+        // — the client owns all retry/quarantine accounting.
+        for (WSlot &s : slots) {
+            if (!s.alive)
+                continue;
+            const ChildStatus st = pollChild(s.cp.pid);
+            if (st.state != ChildState::Exited &&
+                st.state != ChildState::Signaled &&
+                st.state != ChildState::Lost)
+                continue;
+            if (s.cp.toChild >= 0)
+                ::close(s.cp.toChild);
+            if (s.cp.fromChild >= 0)
+                ::close(s.cp.fromChild);
+            s.cp.toChild = s.cp.fromChild = -1;
+            s.alive = false;
+            ++s.consecutiveCrashes;
+            s.backoffUntil =
+                Clock::now() +
+                std::chrono::milliseconds(
+                    s.backoff.delayMs(s.consecutiveCrashes));
+            if (s.busy) {
+                s.busy = false;
+                JobCrashMsg m;
+                m.index = s.job;
+                m.why = describeChildStatus(st);
+                if (opts_.verbose) {
+                    std::fprintf(
+                        stderr,
+                        "sweepd: worker %zu lost job %llu: %s\n", s.id,
+                        (unsigned long long)m.index, m.why.c_str());
+                }
+                if (!sendToClient(fd, FrameType::JobCrash,
+                                  encodeJobCrashMsg(m)))
+                    clientGone = true;
+            }
+        }
+
+        // Heartbeat: busy count plus the cumulative Job frames this
+        // connection has accepted. The received-count gives the client
+        // causality — an idle beat only proves a Result was lost if
+        // the daemon had already seen everything the client sent, so
+        // beats that merely predate a dispatch can never false-alarm.
+        if (Clock::now() >= nextBeat) {
+            size_t busy = backlog.size();
+            for (const WSlot &s : slots)
+                busy += s.alive && s.busy;
+            std::string payload;
+            ByteWriter w(payload);
+            w.u8(uint8_t(std::min<size_t>(busy, 255)));
+            w.u64(jobsReceived);
+            if (!sendToClient(fd, FrameType::Heartbeat, payload))
+                clientGone = true;
+            nextBeat = Clock::now() + std::chrono::milliseconds(int64_t(
+                                          opts_.heartbeatIntervalMs));
+        }
+    }
+
+    if (orderly) {
+        // Drain the fleet exactly like the pipe supervisor: Shutdown
+        // frames, collect final Stats, reap — escalate only if a
+        // worker ignores both the frame and the pipe EOF.
+        for (WSlot &s : slots) {
+            if (!s.alive)
+                continue;
+            writeFrame(s.cp.toChild, FrameType::Shutdown, {});
+            ::close(s.cp.toChild);
+            s.cp.toChild = -1;
+        }
+        for (WSlot &s : slots) {
+            if (!s.alive || s.cp.fromChild < 0)
+                continue;
+            const auto deadline =
+                Clock::now() + std::chrono::milliseconds(3000);
+            for (;;) {
+                struct pollfd pfd = {s.cp.fromChild, POLLIN, 0};
+                const int n = ::poll(&pfd, 1, 100);
+                if (n > 0 && (pfd.revents & POLLIN)) {
+                    Frame frame;
+                    const ReadStatus st =
+                        readFrame(s.cp.fromChild, &frame);
+                    if (st == ReadStatus::CorruptRecord)
+                        continue;
+                    if (st != ReadStatus::Ok)
+                        break;
+                    if (frame.type == FrameType::Stats) {
+                        StatsMsg m;
+                        if (decodeStatsMsg(frame.payload, &m)) {
+                            statsAccum.functionalExecutions +=
+                                m.functionalExecutions;
+                            statsAccum.compilations += m.compilations;
+                            statsAccum.storeHits += m.storeHits;
+                            statsAccum.storeMisses += m.storeMisses;
+                            statsAccum.storeBytesMapped +=
+                                m.storeBytesMapped;
+                        }
+                        break;
+                    }
+                    continue;
+                }
+                if (n > 0 && (pfd.revents & (POLLHUP | POLLERR)))
+                    break;
+                if (Clock::now() >= deadline)
+                    break;
+            }
+        }
+        for (WSlot &s : slots) {
+            if (!s.alive)
+                continue;
+            if (s.cp.fromChild >= 0)
+                ::close(s.cp.fromChild);
+            s.cp.fromChild = -1;
+            const auto deadline =
+                Clock::now() + std::chrono::milliseconds(2000);
+            ChildStatus st = pollChild(s.cp.pid);
+            while (st.state == ChildState::Running &&
+                   Clock::now() < deadline) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                st = pollChild(s.cp.pid);
+            }
+            if (st.state == ChildState::Running) {
+                killChild(s.cp.pid, SIGKILL);
+                waitChild(s.cp.pid);
+            }
+            s.alive = false;
+        }
+        sendToClient(fd, FrameType::Stats, encodeStatsMsg(statsAccum));
+        if (opts_.verbose)
+            std::fprintf(stderr, "sweepd: sweep complete\n");
+    } else {
+        // The client vanished mid-sweep: its coordinator will re-run
+        // anything unreported, so in-flight work here is worthless.
+        // SIGKILL the fleet — a vanished client must never leak
+        // workers.
+        for (WSlot &s : slots)
+            killSlot(s);
+        if (opts_.verbose)
+            std::fprintf(stderr, "sweepd: client disconnected; "
+                                 "fleet torn down\n");
+    }
+    closeFd(fd);
+}
+
+int
+SweepService::serve(int listenFd, bool once, const std::atomic<bool> *stop)
+{
+    for (;;) {
+        if (stop && stop->load(std::memory_order_acquire))
+            return 0;
+        const int fd = acceptTcp(listenFd, /*interruptible=*/true);
+        if (fd < 0) {
+            if (errno == EINTR) {
+                continue;  // drain flag is re-checked above
+            }
+            return 0;  // listen socket closed out from under us
+        }
+        serveConnection(fd);
+        if (once)
+            return 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// RemotePool (client side).
+
+RemotePool::RemotePool(RemoteOptions opts) : opts_(std::move(opts))
+{
+    opts_.heartbeatTimeoutMs = envMsOverride(
+        "VGIW_REMOTE_HEARTBEAT_TIMEOUT_MS", opts_.heartbeatTimeoutMs);
+    opts_.connectTimeoutMs = envMsOverride("VGIW_REMOTE_CONNECT_TIMEOUT_MS",
+                                           opts_.connectTimeoutMs);
+    opts_.reconnectBackoffMs =
+        envMsOverride("VGIW_REMOTE_BACKOFF_MS", opts_.reconnectBackoffMs);
+    opts_.reconnectBackoffCapMs = envMsOverride(
+        "VGIW_REMOTE_BACKOFF_CAP_MS", opts_.reconnectBackoffCapMs);
+    opts_.failureBudget = unsigned(envMsOverride(
+        "VGIW_REMOTE_FAILURE_BUDGET", opts_.failureBudget));
+    if (opts_.heartbeatTimeoutMs == 0)
+        opts_.heartbeatTimeoutMs = 10000;
+    if (opts_.connectTimeoutMs == 0)
+        opts_.connectTimeoutMs = 5000;
+    if (opts_.failureBudget == 0)
+        opts_.failureBudget = 1;
+    if (opts_.reconnectBackoffCapMs < opts_.reconnectBackoffMs)
+        opts_.reconnectBackoffCapMs = opts_.reconnectBackoffMs;
+}
+
+std::vector<ShardRow>
+RemotePool::run(const std::vector<ExperimentJob> &jobs)
+{
+    std::vector<ShardRow> rows(jobs.size());
+    table_.reset(jobs.size());
+    stats_ = SupervisorStats{};
+    degraded_ = false;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        rows[i].workload = jobs[i].workload;
+        rows[i].arch = jobs[i].arch;
+        rows[i].configLabel = jobs[i].configLabel;
+    }
+    if (jobs.empty())
+        return rows;
+
+    ignoreSigpipe();
+
+    std::vector<std::string> keys(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        keys[i] = ExperimentEngine::jobKey(jobs[i]);
+    const std::string sweepHash = ExperimentEngine::sweepHash(jobs);
+
+    size_t done = 0;
+    auto report = [&](size_t i) {
+        const ShardRow &row = rows[i];
+        try {
+            if (opts_.onResult)
+                opts_.onResult(i, row);
+        } catch (...) {
+        }
+        if (!row.ok && !row.drained && opts_.onFailure) {
+            try {
+                opts_.onFailure(row);
+            } catch (...) {
+            }
+        }
+    };
+
+    // Journal restore: identical semantics to the pipe supervisor.
+    std::vector<size_t> pending;
+    pending.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const JournalEntry *e = nullptr;
+        if (opts_.journal) {
+            auto it = opts_.journal->entries().find(keys[i]);
+            if (it != opts_.journal->entries().end())
+                e = &it->second;
+        }
+        if (!e) {
+            pending.push_back(i);
+            continue;
+        }
+        ShardRow &row = rows[i];
+        row.restored = true;
+        row.ok = e->ok;
+        row.golden = e->golden;
+        row.quarantined = e->quarantined;
+        row.ran = e->ok;
+        row.jsonLine = e->jsonLine;
+        if (!e->ok) {
+            row.error = "failed in the journaled run (restored "
+                        "verbatim; see the journal entry)";
+        }
+        JobResult jr;
+        jr.workload = jobs[i].workload;
+        jr.arch = jobs[i].arch;
+        jr.configLabel = jobs[i].configLabel;
+        jr.restored = true;
+        jr.restoredJson = e->jsonLine;
+        jr.goldenPassed = e->golden;
+        jr.quarantined = e->quarantined;
+        if (e->ok)
+            jr.ran = true;
+        else
+            jr.error = row.error;
+        table_.fill(i, jr);
+        ++done;
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i].restored)
+            report(i);
+    }
+    if (pending.empty())
+        return rows;
+
+    struct Conn
+    {
+        size_t id = 0;
+        HostPort hp;
+        int fd = -1;
+        bool quarantined = false;
+        bool everConnected = false;
+        uint32_t capacity = 1;  ///< daemon's shard count, from HelloAck
+        std::map<size_t, Clock::time_point> inflight;
+        Clock::time_point lastBeat{};
+        Clock::time_point backoffUntil{};
+        unsigned consecutiveFailures = 0;
+        unsigned consecutiveCorrupt = 0;
+        unsigned idleBeats = 0;  ///< daemon-idle beats with jobs in flight
+        uint64_t jobsSent = 0;   ///< Job frames written this connection
+        BackoffSchedule backoff{};
+    };
+    std::vector<Conn> conns(std::max<size_t>(opts_.workers.size(), 1));
+    for (size_t c = 0; c < conns.size(); ++c) {
+        conns[c].id = c;
+        if (c < opts_.workers.size())
+            conns[c].hp = opts_.workers[c];
+        else
+            conns[c].quarantined = true;  // no endpoint: never usable
+        conns[c].backoff.baseMs = opts_.reconnectBackoffMs;
+        conns[c].backoff.capMs = opts_.reconnectBackoffCapMs;
+        conns[c].backoff.seed = (uint64_t(::getpid()) << 32) ^ (c + 1);
+    }
+
+    JobQueues queues(conns.size());
+    queues.deal(pending);
+
+    std::vector<unsigned> dispatches(jobs.size(), 0);
+    const unsigned crash_budget =
+        opts_.crashAttempts
+            ? opts_.crashAttempts
+            : 1 + std::max(opts_.retry.maxAttempts, 2u) - 1;
+
+    bool draining = false;
+
+    auto finalizeDrained = [&](size_t i) {
+        rows[i].drained = true;
+        JobResult jr;
+        jr.workload = jobs[i].workload;
+        jr.arch = jobs[i].arch;
+        jr.configLabel = jobs[i].configLabel;
+        jr.drained = true;
+        table_.fill(i, jr);
+        ++done;
+    };
+
+    // Terminal failure row for a job that exhausted its dispatch
+    // budget, with the kind telling worker_crash from link_lost apart.
+    auto finalizeFailed = [&](size_t i, SimErrorKind kind,
+                              const std::string &why) {
+        JobResult jr;
+        jr.workload = jobs[i].workload;
+        jr.arch = jobs[i].arch;
+        jr.configLabel = jobs[i].configLabel;
+        jr.error = why;
+        jr.errorKind = kind;
+        jr.attempts = std::max(dispatches[i], 1u);
+        jr.quarantined = true;
+        table_.fill(i, jr);
+        ShardRow &row = rows[i];
+        row.ok = false;
+        row.golden = false;
+        row.ran = false;
+        row.quarantined = true;
+        row.errorKind = kind;
+        row.attempts = jr.attempts;
+        row.error = why;
+        row.jsonLine = std::string(table_.renderRow(i));
+        if (opts_.journal) {
+            JournalEntry entry;
+            entry.key = keys[i];
+            entry.ok = false;
+            entry.golden = false;
+            entry.quarantined = true;
+            entry.jsonLine = row.jsonLine;
+            opts_.journal->append(entry);
+        }
+        report(i);
+        ++done;
+    };
+
+    auto finalizeResult = [&](const ResultMsg &m) {
+        const size_t i = size_t(m.index);
+        ShardRow &row = rows[i];
+        row.ok = m.ok;
+        row.golden = m.golden;
+        row.ran = m.ran;
+        row.supported = m.supported;
+        row.quarantined = m.quarantined;
+        row.errorKind = m.kind;
+        row.attempts = m.attempts;
+        row.error = m.error;
+        row.cycles = m.cycles;
+        row.energySystemPj = m.systemPj;
+        row.l1MissRate = m.l1MissRate;
+        row.jsonLine = m.jsonLine;
+        // Verbatim re-emission of the worker-rendered bytes (which the
+        // daemon relayed untouched): byte-identity by construction.
+        JobResult jr;
+        jr.workload = jobs[i].workload;
+        jr.arch = jobs[i].arch;
+        jr.configLabel = jobs[i].configLabel;
+        jr.restored = true;
+        jr.restoredJson = m.jsonLine;
+        jr.goldenPassed = m.golden;
+        jr.quarantined = m.quarantined;
+        if (m.ok)
+            jr.ran = true;
+        else
+            jr.error = m.error;
+        table_.fill(i, jr);
+        if (opts_.journal) {
+            JournalEntry entry;
+            entry.key = keys[i];
+            entry.ok = m.ok;
+            entry.golden = m.golden;
+            entry.quarantined = m.quarantined;
+            entry.jsonLine = m.jsonLine;
+            opts_.journal->append(entry);
+        }
+        report(i);
+        ++done;
+    };
+
+    /** The link to @p c died (refused, reset, stalled, desynchronised):
+     * count it, reassign its in-flight jobs, back off or quarantine. */
+    auto connFailure = [&](Conn &c, const std::string &why) {
+        ++stats_.linkLosses;
+        if (c.fd >= 0) {
+            closeFd(c.fd);
+            c.fd = -1;
+        }
+        std::fprintf(stderr, "remote worker %zu (%s:%u) link lost: %s\n",
+                     c.id, c.hp.host.c_str(), unsigned(c.hp.port),
+                     why.c_str());
+        for (const auto &[i, t] : c.inflight) {
+            (void)t;
+            if (dispatches[i] >= crash_budget) {
+                finalizeFailed(i, SimErrorKind::LinkLost,
+                               "link lost: " + why);
+            } else if (draining) {
+                finalizeDrained(i);
+            } else {
+                queues.pushFront(c.id, i);
+            }
+        }
+        c.inflight.clear();
+        c.idleBeats = 0;
+        c.consecutiveCorrupt = 0;
+        ++c.consecutiveFailures;
+        if (c.consecutiveFailures >= opts_.failureBudget) {
+            c.quarantined = true;
+            std::fprintf(stderr,
+                         "remote worker %zu (%s:%u) quarantined after "
+                         "%u consecutive failures\n",
+                         c.id, c.hp.host.c_str(), unsigned(c.hp.port),
+                         c.consecutiveFailures);
+        } else {
+            c.backoffUntil =
+                Clock::now() +
+                std::chrono::milliseconds(
+                    c.backoff.delayMs(c.consecutiveFailures));
+        }
+    };
+
+    auto tryConnect = [&](Conn &c) {
+        std::string err;
+        const int fd = connectTcp(c.hp.host, c.hp.port,
+                                  opts_.connectTimeoutMs, &err);
+        if (fd < 0) {
+            connFailure(c, err);
+            return;
+        }
+        setSocketTimeouts(fd, opts_.connectTimeoutMs,
+                          opts_.connectTimeoutMs);
+        HelloMsg hello = opts_.hello;
+        hello.version = kRemoteProtocolVersion;
+        hello.sweepHash = sweepHash;
+        hello.retryMaxAttempts = opts_.retry.maxAttempts;
+        hello.collectMetrics = opts_.collectMetrics;
+        Frame f;
+        if (!writeFrame(fd, FrameType::Hello, encodeHelloMsg(hello))) {
+            closeFd(fd);
+            connFailure(c, "handshake write failed");
+            return;
+        }
+        const ReadStatus st = readFrame(fd, &f);
+        if (st != ReadStatus::Ok || f.type != FrameType::HelloAck) {
+            closeFd(fd);
+            connFailure(c, st == ReadStatus::Timeout
+                               ? "handshake timed out"
+                               : "handshake read failed");
+            return;
+        }
+        HelloAckMsg ack;
+        if (!decodeHelloAckMsg(f.payload, &ack)) {
+            closeFd(fd);
+            connFailure(c, "malformed HelloAck");
+            return;
+        }
+        if (!ack.ok || ack.version != kRemoteProtocolVersion) {
+            closeFd(fd);
+            connFailure(c, ack.reason.empty()
+                               ? "handshake refused"
+                               : "handshake refused: " + ack.reason);
+            return;
+        }
+        setSocketTimeouts(fd, opts_.heartbeatTimeoutMs,
+                          opts_.heartbeatTimeoutMs);
+        c.fd = fd;
+        c.capacity = std::max(ack.shards, 1u);
+        c.lastBeat = Clock::now();
+        c.consecutiveFailures = 0;
+        c.consecutiveCorrupt = 0;
+        c.idleBeats = 0;
+        c.jobsSent = 0;
+        if (c.everConnected)
+            ++stats_.reconnects;
+        c.everConnected = true;
+        std::fprintf(stderr,
+                     "remote worker %zu (%s:%u) connected (%u shards)\n",
+                     c.id, c.hp.host.c_str(), unsigned(c.hp.port),
+                     c.capacity);
+    };
+
+    auto handleFrame = [&](Conn &c, const Frame &frame) {
+        switch (frame.type) {
+          case FrameType::Heartbeat: {
+            c.lastBeat = Clock::now();
+            ByteReader rd(frame.payload.data(), frame.payload.size());
+            const uint8_t busy = rd.u8();
+            const uint64_t received = rd.u64();
+            // An idle beat is only evidence of a lost Result when the
+            // daemon had already accepted every Job frame we wrote on
+            // this connection: it then sent a Result per job *before*
+            // this beat, so any job still in our inflight map had its
+            // Result vanish (e.g. skipped as a corrupt record). Beats
+            // with received < jobsSent merely predate a dispatch (they
+            // queue up while we block in a connect elsewhere) and
+            // prove nothing. Two consecutive beats, for paranoia.
+            if (rd.done() && busy == 0 && !c.inflight.empty() &&
+                received == c.jobsSent) {
+                if (++c.idleBeats >= 2) {
+                    connFailure(c, "daemon idle with jobs believed "
+                                   "in flight (results lost)");
+                }
+            } else {
+                c.idleBeats = 0;
+            }
+            break;
+          }
+          case FrameType::Result: {
+            ResultMsg m;
+            if (!decodeResultMsg(frame.payload, &m) ||
+                m.index >= jobs.size())
+                break;  // defensive: checksum passed, layout did not
+            auto it = c.inflight.find(size_t(m.index));
+            if (it == c.inflight.end())
+                break;  // stale/duplicate: drop
+            c.inflight.erase(it);
+            c.idleBeats = 0;
+            c.lastBeat = Clock::now();
+            finalizeResult(m);
+            break;
+          }
+          case FrameType::JobCrash: {
+            JobCrashMsg m;
+            if (!decodeJobCrashMsg(frame.payload, &m))
+                break;
+            auto it = c.inflight.find(size_t(m.index));
+            if (it == c.inflight.end())
+                break;
+            c.inflight.erase(it);
+            c.lastBeat = Clock::now();
+            ++stats_.crashes;
+            const size_t i = size_t(m.index);
+            std::fprintf(stderr,
+                         "remote worker %zu (%s:%u) lost job %s [%s]: "
+                         "%s (attempt %u/%u)\n",
+                         c.id, c.hp.host.c_str(), unsigned(c.hp.port),
+                         jobs[i].workload.c_str(), jobs[i].arch.c_str(),
+                         m.why.c_str(), dispatches[i], crash_budget);
+            if (dispatches[i] >= crash_budget) {
+                finalizeFailed(i, SimErrorKind::WorkerCrash,
+                               "worker crashed: " + m.why);
+            } else if (draining) {
+                finalizeDrained(i);
+            } else {
+                queues.pushFront(c.id, i);
+            }
+            break;
+          }
+          case FrameType::Stats: {
+            StatsMsg m;
+            if (!decodeStatsMsg(frame.payload, &m))
+                break;
+            stats_.functionalExecutions += m.functionalExecutions;
+            stats_.compilations += m.compilations;
+            stats_.storeHits += m.storeHits;
+            stats_.storeMisses += m.storeMisses;
+            stats_.storeBytesMapped += m.storeBytesMapped;
+            break;
+          }
+          default:
+            break;
+        }
+    };
+
+    while (done < jobs.size()) {
+        const auto now = Clock::now();
+
+        if (!draining && opts_.stop &&
+            opts_.stop->load(std::memory_order_acquire)) {
+            draining = true;
+        }
+        if (draining) {
+            // Queued jobs drain immediately; in-flight jobs are given
+            // the chance to finish (their daemons keep running them).
+            queues.drainAll(finalizeDrained);
+            bool any_inflight = false;
+            for (const Conn &c : conns)
+                any_inflight |= !c.inflight.empty();
+            if (!any_inflight)
+                break;
+        }
+
+        // Quarantine sweep: when the whole fleet is out, finish the
+        // rest in-process — a degraded sweep beats a dead one. vgiw_run
+        // reports this as exit code 5.
+        bool all_quarantined = true;
+        for (const Conn &c : conns)
+            all_quarantined &= c.quarantined;
+        if (all_quarantined && done < jobs.size()) {
+            std::vector<size_t> rem;
+            queues.drainAll([&](size_t j) { rem.push_back(j); });
+            std::sort(rem.begin(), rem.end());
+            if (draining || rem.empty()) {
+                // Draining (don't start local work the user just asked
+                // to stop), or an accounting hole: either way every row
+                // must end terminal — mark the leftovers drained
+                // rather than spin forever. A pending row is one no
+                // finalize* lambda has touched: not ok, not drained,
+                // not restored, and no failure diagnostic either.
+                for (size_t j : rem)
+                    finalizeDrained(j);
+                for (size_t i = 0; done < jobs.size() && i < jobs.size();
+                     ++i) {
+                    if (!rows[i].ok && !rows[i].drained &&
+                        !rows[i].restored && rows[i].error.empty() &&
+                        rows[i].jsonLine.empty())
+                        finalizeDrained(i);
+                }
+                break;
+            }
+            {
+                degraded_ = true;
+                stats_.fallbackJobs += rem.size();
+                std::fprintf(stderr,
+                             "all %zu remote workers quarantined; "
+                             "finishing %zu jobs locally\n",
+                             opts_.workers.size(), rem.size());
+                EngineOptions eopts;
+                eopts.retry = opts_.retry;
+                eopts.artifactStore = opts_.artifactStore;
+                eopts.stop = opts_.stop;
+                MetricsCollector collector;
+                if (opts_.collectMetrics)
+                    eopts.metrics = &collector;
+                ExperimentEngine engine(eopts);
+                std::vector<ExperimentJob> rjobs;
+                rjobs.reserve(rem.size());
+                for (size_t j : rem)
+                    rjobs.push_back(jobs[j]);
+                auto results = engine.run(rjobs);
+                for (size_t k = 0; k < results.size(); ++k) {
+                    const size_t i = rem[k];
+                    const JobResult &r = results[k];
+                    if (r.drained) {
+                        finalizeDrained(i);
+                        continue;
+                    }
+                    ShardRow &row = rows[i];
+                    row.ok = r.ok();
+                    row.golden = r.goldenPassed;
+                    row.ran = r.ran;
+                    row.supported = r.stats.supported;
+                    row.quarantined = r.quarantined;
+                    row.errorKind = r.errorKind;
+                    row.attempts = r.attempts;
+                    row.error = r.error;
+                    row.cycles = r.stats.cycles;
+                    row.energySystemPj = r.stats.energy.systemPj();
+                    row.l1MissRate = r.stats.l1Stats.missRate();
+                    row.jsonLine =
+                        std::string(engine.resultTable().renderRow(k));
+                    JobResult jr;
+                    jr.workload = jobs[i].workload;
+                    jr.arch = jobs[i].arch;
+                    jr.configLabel = jobs[i].configLabel;
+                    jr.restored = true;
+                    jr.restoredJson = row.jsonLine;
+                    jr.goldenPassed = r.goldenPassed;
+                    jr.quarantined = r.quarantined;
+                    if (row.ok)
+                        jr.ran = true;
+                    else
+                        jr.error = r.error;
+                    table_.fill(i, jr);
+                    if (opts_.journal) {
+                        JournalEntry entry;
+                        entry.key = keys[i];
+                        entry.ok = row.ok;
+                        entry.golden = row.golden;
+                        entry.quarantined = row.quarantined;
+                        entry.jsonLine = row.jsonLine;
+                        opts_.journal->append(entry);
+                    }
+                    report(i);
+                    ++done;
+                }
+            }
+            continue;
+        }
+
+        if (!draining) {
+            for (Conn &c : conns) {
+                if (!c.quarantined && c.fd < 0 &&
+                    now >= c.backoffUntil &&
+                    (queues.anyWork() || !c.inflight.empty()))
+                    tryConnect(c);
+            }
+            for (Conn &c : conns) {
+                if (c.fd < 0)
+                    continue;
+                while (c.inflight.size() < c.capacity) {
+                    auto j = queues.take(c.id, &stats_.steals);
+                    if (!j)
+                        break;
+                    std::string payload;
+                    ByteWriter w(payload);
+                    w.u64(uint64_t(*j));
+                    ++dispatches[*j];
+                    if (!writeFrame(c.fd, FrameType::Job, payload)) {
+                        --dispatches[*j];
+                        queues.pushFront(c.id, *j);
+                        connFailure(c, "job dispatch failed");
+                        break;
+                    }
+                    ++c.jobsSent;
+                    c.inflight.emplace(*j, Clock::now());
+                }
+            }
+        }
+
+        std::vector<struct pollfd> fds;
+        std::vector<size_t> fd_conn;
+        for (size_t c = 0; c < conns.size(); ++c) {
+            if (conns[c].fd >= 0) {
+                fds.push_back({conns[c].fd, POLLIN, 0});
+                fd_conn.push_back(c);
+            }
+        }
+        if (!fds.empty()) {
+            const int n = ::poll(fds.data(), nfds_t(fds.size()), 50);
+            if (n > 0) {
+                for (size_t k = 0; k < fds.size(); ++k) {
+                    Conn &c = conns[fd_conn[k]];
+                    if (c.fd < 0)
+                        continue;
+                    if (fds[k].revents & POLLIN) {
+                        Frame frame;
+                        const ReadStatus st = readFrame(c.fd, &frame);
+                        if (st == ReadStatus::Ok) {
+                            c.consecutiveCorrupt = 0;
+                            handleFrame(c, frame);
+                        } else if (st == ReadStatus::Interrupted) {
+                            // re-check drain next iteration
+                        } else if (st == ReadStatus::CorruptRecord) {
+                            ++stats_.corruptFrames;
+                            if (++c.consecutiveCorrupt >=
+                                kMaxConsecutiveCorrupt) {
+                                connFailure(c, "repeated corrupt "
+                                               "frames");
+                            }
+                        } else if (st == ReadStatus::Timeout) {
+                            connFailure(c, "stalled mid-frame");
+                        } else if (st == ReadStatus::Eof) {
+                            connFailure(c, "connection closed");
+                        } else if (st == ReadStatus::Corrupt) {
+                            connFailure(c, "desynchronised stream");
+                        } else {
+                            connFailure(c, "read error");
+                        }
+                    } else if (fds[k].revents & (POLLHUP | POLLERR)) {
+                        connFailure(c, "connection reset");
+                    }
+                }
+            }
+        } else if (done < jobs.size()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+
+        const auto after = Clock::now();
+        for (Conn &c : conns) {
+            if (c.fd < 0)
+                continue;
+            if (opts_.jobDeadlineMs) {
+                bool overrun = false;
+                for (const auto &[i, t] : c.inflight) {
+                    (void)i;
+                    if (msSince(t, after) >
+                        int64_t(opts_.jobDeadlineMs)) {
+                        overrun = true;
+                        break;
+                    }
+                }
+                if (overrun) {
+                    char buf[96];
+                    std::snprintf(
+                        buf, sizeof buf,
+                        "job deadline exceeded (%llu ms)",
+                        (unsigned long long)opts_.jobDeadlineMs);
+                    connFailure(c, buf);
+                    continue;
+                }
+            }
+            if (msSince(c.lastBeat, after) >
+                int64_t(opts_.heartbeatTimeoutMs)) {
+                ++stats_.heartbeatMisses;
+                char buf[96];
+                std::snprintf(buf, sizeof buf,
+                              "heartbeat silent for %llu ms",
+                              (unsigned long long)
+                                  opts_.heartbeatTimeoutMs);
+                connFailure(c, buf);
+            }
+        }
+    }
+
+    // Orderly shutdown: a Shutdown frame per live connection; each
+    // daemon drains its fleet and answers with one aggregated Stats
+    // frame before closing.
+    for (Conn &c : conns) {
+        if (c.fd < 0)
+            continue;
+        writeFrame(c.fd, FrameType::Shutdown, {});
+    }
+    for (Conn &c : conns) {
+        if (c.fd < 0)
+            continue;
+        const auto deadline =
+            Clock::now() + std::chrono::milliseconds(8000);
+        for (;;) {
+            struct pollfd pfd = {c.fd, POLLIN, 0};
+            const int n = ::poll(&pfd, 1, 100);
+            if (n > 0 && (pfd.revents & POLLIN)) {
+                Frame frame;
+                const ReadStatus st = readFrame(c.fd, &frame);
+                if (st == ReadStatus::CorruptRecord) {
+                    ++stats_.corruptFrames;
+                    continue;
+                }
+                if (st != ReadStatus::Ok)
+                    break;
+                handleFrame(c, frame);
+                if (frame.type == FrameType::Stats)
+                    break;
+                continue;
+            }
+            if (n > 0 && (pfd.revents & (POLLHUP | POLLERR)))
+                break;
+            if (Clock::now() >= deadline)
+                break;
+        }
+        closeFd(c.fd);
+        c.fd = -1;
+    }
+
+    return rows;
+}
+
+} // namespace vgiw

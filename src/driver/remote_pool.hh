@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The remote sweep service: fault-tolerant multi-machine sweeps over
+ * the shard frame protocol (DESIGN.md §16).
+ *
+ * PR 8 put hard-fault isolation behind forked worker processes on one
+ * machine; this layer stretches the same frame protocol across TCP so
+ * a sweep can spread over a small trusted fleet:
+ *
+ *  - **SweepService** (the daemon side, `vgiw_sweepd`): accepts one
+ *    client connection at a time, validates the Hello handshake
+ *    (protocol version, architecture list, recomputed sweep hash —
+ *    any divergence refuses the handshake instead of misparsing), then
+ *    forks a local fleet of runShardWorker processes and relays: Job
+ *    frames in, worker Result frames out *verbatim* (the byte-identity
+ *    contract rides on the worker-rendered bytes passing through
+ *    untouched). A local worker death is reported as a JobCrash frame
+ *    — the daemon never retries, so retry/quarantine accounting has
+ *    exactly one bookkeeper: the client. Daemon heartbeats carry a
+ *    busy-count plus the cumulative Job frames accepted, so the client
+ *    can detect results lost in transit without mistaking a beat that
+ *    merely predates a dispatch for evidence of loss.
+ *  - **RemotePool** (the client side, `vgiw_run --workers`): treats
+ *    each daemon like a shard slot — per-connection heartbeat timeout,
+ *    per-job deadline, jittered-exponential reconnect backoff
+ *    (common/backoff.hh), in-flight reassignment on link loss
+ *    (exactly-once via jobKey + the coordinator-owned journal), a
+ *    consecutive-failure budget after which a worker is quarantined,
+ *    and graceful degradation: when every remote is quarantined the
+ *    remaining jobs finish in-process and vgiw_run exits 5.
+ *
+ * Failure taxonomy: `worker_crash` is a worker *process* dying on the
+ * remote machine (reported by the daemon via JobCrash); `link_lost` is
+ * the TCP link dying — refused/reset/stalled/desynchronised — with
+ * jobs in flight. The distinction matters operationally: the first
+ * points at a poisoned job or a sick machine, the second at the
+ * network or a dead daemon.
+ *
+ * Scope: a trusted lab fleet. No TLS, no authentication, same
+ * architecture and build on every machine (the handshake's sweep-hash
+ * recomputation enforces the parts of that which matter).
+ */
+
+#ifndef VGIW_DRIVER_REMOTE_POOL_HH
+#define VGIW_DRIVER_REMOTE_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/net.hh"
+#include "common/subprocess.hh"
+#include "driver/shard_wire.hh"
+#include "driver/worker_pool.hh"
+
+namespace vgiw
+{
+
+// ---------------------------------------------------------------------
+// Daemon side.
+
+/** Knobs for one vgiw_sweepd service instance. */
+struct SweepServiceOptions
+{
+    /** Local forked-worker count per served sweep. */
+    unsigned shards = 2;
+
+    /** Daemon-local artifact store; not owned (may be null). */
+    ArtifactStore *artifactStore = nullptr;
+
+    /** Cadence of daemon -> client busy-count heartbeats (and of the
+     * local workers' pipe heartbeats). */
+    uint64_t heartbeatIntervalMs = 250;
+
+    /**
+     * Test hook: serve *these* jobs instead of rebuilding the suite
+     * from the Hello config knobs. The sweep-hash check still runs
+     * against this list, so a client speaking a different sweep is
+     * still refused.
+     */
+    std::vector<ExperimentJob> jobsOverride;
+
+    /** Test hook: version the daemon claims in HelloAck. Differing
+     * from kRemoteProtocolVersion refuses every handshake — the
+     * version-skew drill. */
+    uint32_t advertiseVersion = kRemoteProtocolVersion;
+
+    /** Log connection/worker events to stderr. */
+    bool verbose = true;
+};
+
+/**
+ * The daemon: serves sweep connections over an accepting socket. One
+ * connection at a time — a sweep saturates the local fleet anyway, and
+ * later clients simply wait in the accept backlog. Each connection
+ * gets a fresh fleet; client disconnect (orderly or not) tears the
+ * fleet down, so a vanished client can never leak worker processes.
+ *
+ * Network test faults (VGIW_TEST_FAULT, kinds the *daemon* owns):
+ * `drop:N` closes the client socket after N frames sent (fires once
+ * per process, so the client's reconnect succeeds); `corruptframe:N`
+ * corrupts the checksum of the Nth frame sent (once); `stallframe:N:M`
+ * stalls the Nth frame mid-write for M ms; `skew:0` advertises a
+ * mismatched protocol version and refuses every handshake.
+ */
+class SweepService
+{
+  public:
+    explicit SweepService(SweepServiceOptions opts);
+
+    /**
+     * Accept-and-serve until @p stop trips (or forever if null); if
+     * @p once, return after the first connection completes. Returns 0.
+     */
+    int serve(int listenFd, bool once, const std::atomic<bool> *stop);
+
+    /** Serve exactly one accepted connection (handshake -> sweep ->
+     * teardown); closes @p fd. Exposed for in-process tests. */
+    void serveConnection(int fd);
+
+  private:
+    SweepServiceOptions opts_;
+    TestFault fault_;          ///< network kinds only
+    uint64_t framesSent_ = 0;  ///< client-socket frames, for fault arming
+    bool dropFired_ = false;
+    bool corruptFired_ = false;
+    bool stallFired_ = false;
+
+    bool sendToClient(int fd, FrameType type, std::string_view payload);
+};
+
+// ---------------------------------------------------------------------
+// Client side.
+
+/** Client knobs. Env overrides (applied in the constructor):
+ * VGIW_REMOTE_HEARTBEAT_TIMEOUT_MS, VGIW_REMOTE_CONNECT_TIMEOUT_MS,
+ * VGIW_REMOTE_BACKOFF_MS, VGIW_REMOTE_BACKOFF_CAP_MS,
+ * VGIW_REMOTE_FAILURE_BUDGET. */
+struct RemoteOptions
+{
+    /** The daemon endpoints (from --workers host:port,host:port,...). */
+    std::vector<HostPort> workers;
+
+    /** Handshake template: config knobs + archsCsv + artifactDir; the
+     * pool fills version and sweepHash itself. */
+    HelloMsg hello;
+
+    /** Retry policy carried to the remote workers, and used by the
+     * local fallback engine. */
+    RetryPolicy retry{};
+
+    /** Total dispatches a job may consume across remote worker crashes
+     * and link losses; 0 derives from retry exactly as ShardOptions. */
+    unsigned crashAttempts = 0;
+
+    /** Per-job wall-clock deadline enforced by the client (drops the
+     * connection on overrun — the daemon kills its fleet); 0 off. */
+    uint64_t jobDeadlineMs = 0;
+
+    /** A daemon silent for this long is a lost link. Also the
+     * SO_RCVTIMEO on the socket, so a mid-frame stall surfaces as
+     * Timeout instead of hanging the coordinator. */
+    uint64_t heartbeatTimeoutMs = 10000;
+
+    uint64_t connectTimeoutMs = 5000;
+
+    /** Jittered-exponential reconnect backoff (common/backoff.hh). */
+    uint64_t reconnectBackoffMs = 200;
+    uint64_t reconnectBackoffCapMs = 10000;
+
+    /** Consecutive link failures (refused connects, lost connections,
+     * refused handshakes) before a remote worker is quarantined. */
+    unsigned failureBudget = 3;
+
+    bool collectMetrics = false;
+
+    /** Coordinator-owned journal (single writer); not owned. */
+    ResultJournal *journal = nullptr;
+
+    /** Local artifact store for the fallback engine only; not owned. */
+    ArtifactStore *artifactStore = nullptr;
+
+    /** Graceful-drain flag; not owned. */
+    const std::atomic<bool> *stop = nullptr;
+
+    std::function<void(size_t index, const ShardRow &)> onResult;
+    std::function<void(const ShardRow &)> onFailure;
+};
+
+/**
+ * The client coordinator: dispatches a sweep across remote sweep
+ * daemons, reassigns on failure, and degrades to local execution when
+ * the whole fleet is quarantined. Same contract as ShardSupervisor:
+ * run() returns index-aligned terminal rows, resultTable() re-emits
+ * worker bytes verbatim for --json byte-identity.
+ */
+class RemotePool
+{
+  public:
+    explicit RemotePool(RemoteOptions opts);
+
+    std::vector<ShardRow> run(const std::vector<ExperimentJob> &jobs);
+
+    ResultTable &resultTable() { return table_; }
+    const SupervisorStats &stats() const { return stats_; }
+
+    /** True when at least one job was completed by the local fallback
+     * because every remote was quarantined — vgiw_run exit 5. */
+    bool degradedToLocal() const { return degraded_; }
+
+  private:
+    RemoteOptions opts_;
+    ResultTable table_;
+    SupervisorStats stats_;
+    bool degraded_ = false;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_REMOTE_POOL_HH

@@ -1,0 +1,455 @@
+#include "driver/shard_wire.hh"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/signal_drain.hh"
+#include "common/subprocess.hh"
+#include "driver/artifact_store.hh"
+
+namespace vgiw
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_mute_heartbeats{false};
+
+enum : uint8_t
+{
+    kMsgOk = 1 << 0,
+    kMsgGolden = 1 << 1,
+    kMsgRan = 1 << 2,
+    kMsgSupported = 1 << 3,
+    kMsgQuarantined = 1 << 4,
+    kMsgDrained = 1 << 5,
+};
+
+void
+putString(ByteWriter &w, std::string_view s)
+{
+    w.u32(uint32_t(s.size()));
+    w.raw(s.data(), s.size());
+}
+
+bool
+getString(ByteReader &rd, std::string *out)
+{
+    const uint32_t len = rd.u32();
+    if (const uint8_t *p = rd.bytes(len)) {
+        out->assign(reinterpret_cast<const char *>(p), len);
+        return true;
+    }
+    return len == 0;
+}
+
+} // namespace
+
+std::string
+encodeResultMsg(uint64_t index, const JobResult &r,
+                std::string_view jsonLine)
+{
+    std::string payload;
+    ByteWriter w(payload);
+    w.u64(index);
+    uint8_t flags = 0;
+    if (r.ok())
+        flags |= kMsgOk;
+    if (r.goldenPassed)
+        flags |= kMsgGolden;
+    if (r.ran)
+        flags |= kMsgRan;
+    if (r.stats.supported)
+        flags |= kMsgSupported;
+    if (r.quarantined)
+        flags |= kMsgQuarantined;
+    if (r.drained)
+        flags |= kMsgDrained;
+    w.u8(flags);
+    w.u8(uint8_t(r.errorKind));
+    w.u32(r.attempts);
+    w.u64(r.stats.cycles);
+    w.f64(r.stats.energy.systemPj());
+    w.f64(r.stats.l1Stats.missRate());
+    putString(w, r.error);
+    putString(w, jsonLine);
+    return payload;
+}
+
+bool
+decodeResultMsg(const std::string &payload, ResultMsg *out)
+{
+    ByteReader rd(payload.data(), payload.size());
+    out->index = rd.u64();
+    const uint8_t flags = rd.u8();
+    out->ok = flags & kMsgOk;
+    out->golden = flags & kMsgGolden;
+    out->ran = flags & kMsgRan;
+    out->supported = flags & kMsgSupported;
+    out->quarantined = flags & kMsgQuarantined;
+    out->drained = flags & kMsgDrained;
+    out->kind = SimErrorKind(rd.u8());
+    out->attempts = rd.u32();
+    out->cycles = rd.u64();
+    out->systemPj = rd.f64();
+    out->l1MissRate = rd.f64();
+    if (!getString(rd, &out->error) || !getString(rd, &out->jsonLine))
+        return false;
+    return rd.done();
+}
+
+std::string
+encodeStatsMsg(const StatsMsg &m)
+{
+    std::string payload;
+    ByteWriter w(payload);
+    w.u64(m.functionalExecutions);
+    w.u64(m.compilations);
+    w.u64(m.storeHits);
+    w.u64(m.storeMisses);
+    w.u64(m.storeBytesMapped);
+    return payload;
+}
+
+bool
+decodeStatsMsg(const std::string &payload, StatsMsg *out)
+{
+    ByteReader rd(payload.data(), payload.size());
+    out->functionalExecutions = rd.u64();
+    out->compilations = rd.u64();
+    out->storeHits = rd.u64();
+    out->storeMisses = rd.u64();
+    out->storeBytesMapped = rd.u64();
+    return rd.done();
+}
+
+std::string
+encodeHelloMsg(const HelloMsg &m)
+{
+    std::string payload;
+    ByteWriter w(payload);
+    w.u32(m.version);
+    putString(w, m.sweepHash);
+    putString(w, m.archsCsv);
+    w.u32(m.lvcBytes);
+    w.u32(m.cvtCapacityBits);
+    uint8_t flags = 0;
+    if (m.enableReplication)
+        flags |= 1 << 0;
+    if (m.enableMemoryCoalescing)
+        flags |= 1 << 1;
+    if (m.collectMetrics)
+        flags |= 1 << 2;
+    w.u8(flags);
+    w.u64(m.maxReplayCycles);
+    w.f64(m.deadlineMs);
+    w.u32(m.retryMaxAttempts);
+    putString(w, m.artifactDir);
+    return payload;
+}
+
+bool
+decodeHelloMsg(const std::string &payload, HelloMsg *out)
+{
+    ByteReader rd(payload.data(), payload.size());
+    out->version = rd.u32();
+    if (!getString(rd, &out->sweepHash) || !getString(rd, &out->archsCsv))
+        return false;
+    out->lvcBytes = rd.u32();
+    out->cvtCapacityBits = rd.u32();
+    const uint8_t flags = rd.u8();
+    out->enableReplication = flags & (1 << 0);
+    out->enableMemoryCoalescing = flags & (1 << 1);
+    out->collectMetrics = flags & (1 << 2);
+    out->maxReplayCycles = rd.u64();
+    out->deadlineMs = rd.f64();
+    out->retryMaxAttempts = rd.u32();
+    if (!getString(rd, &out->artifactDir))
+        return false;
+    return rd.done();
+}
+
+std::string
+encodeHelloAckMsg(const HelloAckMsg &m)
+{
+    std::string payload;
+    ByteWriter w(payload);
+    w.u32(m.version);
+    w.u8(m.ok ? 1 : 0);
+    w.u32(m.shards);
+    w.u8(m.daemonHasStore ? 1 : 0);
+    putString(w, m.reason);
+    return payload;
+}
+
+bool
+decodeHelloAckMsg(const std::string &payload, HelloAckMsg *out)
+{
+    ByteReader rd(payload.data(), payload.size());
+    out->version = rd.u32();
+    out->ok = rd.u8() != 0;
+    out->shards = rd.u32();
+    out->daemonHasStore = rd.u8() != 0;
+    if (!getString(rd, &out->reason))
+        return false;
+    return rd.done();
+}
+
+std::string
+encodeJobCrashMsg(const JobCrashMsg &m)
+{
+    std::string payload;
+    ByteWriter w(payload);
+    w.u64(m.index);
+    putString(w, m.why);
+    return payload;
+}
+
+bool
+decodeJobCrashMsg(const std::string &payload, JobCrashMsg *out)
+{
+    ByteReader rd(payload.data(), payload.size());
+    out->index = rd.u64();
+    if (!getString(rd, &out->why))
+        return false;
+    return rd.done();
+}
+
+TestFault
+parseTestFault(const char *spec)
+{
+    TestFault f;
+    if (!spec || !*spec)
+        return f;
+    std::string s(spec);
+    const size_t c1 = s.find(':');
+    if (c1 == std::string::npos)
+        return f;
+    const std::string action = s.substr(0, c1);
+    const size_t c2 = s.find(':', c1 + 1);
+    const std::string idx = s.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+    f.index = std::strtoull(idx.c_str(), nullptr, 10);
+    if (c2 != std::string::npos)
+        f.millis = int(std::strtoul(s.c_str() + c2 + 1, nullptr, 10));
+    if (action == "segv")
+        f.kind = TestFault::Kind::Segv;
+    else if (action == "kill")
+        f.kind = TestFault::Kind::Kill;
+    else if (action == "abort")
+        f.kind = TestFault::Kind::Abort;
+    else if (action == "stall")
+        f.kind = TestFault::Kind::Stall;
+    else if (action == "mute")
+        f.kind = TestFault::Kind::Mute;
+    else if (action == "badframe")
+        f.kind = TestFault::Kind::BadFrame;
+    else if (action == "drop")
+        f.kind = TestFault::Kind::Drop;
+    else if (action == "corruptframe")
+        f.kind = TestFault::Kind::CorruptFrame;
+    else if (action == "stallframe")
+        f.kind = TestFault::Kind::StallFrame;
+    else if (action == "skew")
+        f.kind = TestFault::Kind::Skew;
+    return f;
+}
+
+void
+armTestFault(const TestFault &f, FaultInjector &injector)
+{
+    using Point = FaultInjector::Point;
+    // The worker engine runs one job at a time, so the local index the
+    // injector sees is always 0.
+    switch (f.kind) {
+      case TestFault::Kind::Segv:
+        injector.armRaise(Point::Replay, 0, SIGSEGV);
+        break;
+      case TestFault::Kind::Kill:
+        injector.armRaise(Point::Replay, 0, SIGKILL);
+        break;
+      case TestFault::Kind::Abort:
+        injector.armRaise(Point::Replay, 0, SIGABRT);
+        break;
+      case TestFault::Kind::Stall:
+        injector.armStall(Point::Replay, 0, f.millis ? f.millis : 30000);
+        break;
+      case TestFault::Kind::Mute:
+        // A silent worker: alive and busy but no heartbeats — the
+        // supervisor's timeout, not waitpid, has to catch this one.
+        muteWorkerHeartbeatsForTest(true);
+        injector.armStall(Point::Replay, 0, f.millis ? f.millis : 30000);
+        break;
+      case TestFault::Kind::None:
+      case TestFault::Kind::BadFrame:
+      case TestFault::Kind::Drop:
+      case TestFault::Kind::CorruptFrame:
+      case TestFault::Kind::StallFrame:
+      case TestFault::Kind::Skew:
+        break;  // not injector faults; owned by the wire layers
+    }
+}
+
+void
+muteWorkerHeartbeatsForTest(bool mute)
+{
+    g_mute_heartbeats.store(mute, std::memory_order_relaxed);
+}
+
+int
+runShardWorker(int in_fd, int out_fd,
+               const std::vector<ExperimentJob> &jobs,
+               const ShardWorkerOptions &opts)
+{
+    ignoreSigpipe();
+    installDrainHandlers();
+
+    // Liveness breadcrumb for orphan-detection tests: present while
+    // the worker runs, removed on clean exit. A crash leaves a stale
+    // file whose pid no longer exists — which is exactly the
+    // distinction the no-orphans check needs.
+    std::string pidfile;
+    if (const char *dir = std::getenv("VGIW_SHARD_PIDFILE_DIR");
+        dir && *dir) {
+        pidfile = std::string(dir) + "/worker-" +
+                  std::to_string(::getpid()) + ".alive";
+        if (std::FILE *f = std::fopen(pidfile.c_str(), "w")) {
+            std::fprintf(f, "%d\n", int(::getpid()));
+            std::fclose(f);
+        }
+    }
+
+    const TestFault fault = parseTestFault(std::getenv("VGIW_TEST_FAULT"));
+
+    FaultInjector injector;
+    MetricsCollector collector;
+    EngineOptions eopts;
+    eopts.jobs = 1;
+    eopts.retry = opts.retry;
+    eopts.artifactStore = opts.artifactStore;
+    eopts.injector = &injector;
+    eopts.stop = &drainFlag();
+    if (opts.collectMetrics)
+        eopts.metrics = &collector;
+    // One engine for the worker's lifetime: its trace/compile caches
+    // persist across jobs, so a worker that sees a workload twice
+    // traces it once — and with a shared artifact store, the whole
+    // fleet traces it once.
+    ExperimentEngine engine(eopts);
+
+    // The heartbeat thread shares the result fd; a mutex keeps frames
+    // from interleaving mid-write.
+    std::mutex write_mu;
+    std::atomic<bool> beat_stop{false};
+    std::thread beater([&]() {
+        const auto interval =
+            std::chrono::milliseconds(opts.heartbeatIntervalMs);
+        auto next = Clock::now();
+        while (!beat_stop.load(std::memory_order_acquire)) {
+            if (!g_mute_heartbeats.load(std::memory_order_relaxed)) {
+                std::lock_guard<std::mutex> lock(write_mu);
+                writeFrame(out_fd, FrameType::Heartbeat, {});
+            }
+            next += interval;
+            // Sleep in short slices so shutdown never waits a full
+            // interval.
+            while (!beat_stop.load(std::memory_order_acquire) &&
+                   Clock::now() < next) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        }
+    });
+
+    int rc = 0;
+    for (;;) {
+        if (drainRequested())
+            break;
+        Frame frame;
+        const ReadStatus st = readFrame(in_fd, &frame);
+        if (st == ReadStatus::Interrupted)
+            continue;  // a signal landed; the loop re-checks the drain
+        if (st == ReadStatus::Eof)
+            break;  // coordinator closed the pipe: orderly exit
+        if (st != ReadStatus::Ok) {
+            rc = 1;  // Corrupt / Error: desynchronised coordinator.
+                     // (CorruptRecord too: a worker cannot skip a Job
+                     // frame — the coordinator would believe the job
+                     // is owned. Dying hands it back for re-dispatch.)
+            break;
+        }
+        if (frame.type == FrameType::Shutdown)
+            break;
+        if (frame.type != FrameType::Job)
+            continue;
+
+        ByteReader rd(frame.payload.data(), frame.payload.size());
+        const uint64_t index = rd.u64();
+        if (!rd.done() || index >= jobs.size()) {
+            rc = 1;
+            break;
+        }
+        if (fault.kind == TestFault::Kind::BadFrame &&
+            fault.index == index) {
+            // Corruption-recovery drill: one checksum-bad (but
+            // length-valid) frame ahead of the real result. The
+            // supervisor must skip exactly this record, count it, and
+            // parse everything after it.
+            std::lock_guard<std::mutex> lock(write_mu);
+            writeCorruptFrameForTest(out_fd, FrameType::Heartbeat,
+                                     "corrupt-record-drill");
+        } else if (fault.kind != TestFault::Kind::None &&
+                   !fault.isNetwork() && fault.index == index) {
+            armTestFault(fault, injector);
+        }
+        if (opts.preJob)
+            opts.preJob(size_t(index));
+
+        auto results = engine.run({jobs[index]});
+        const JobResult &r = results[0];
+        const std::string_view line = engine.resultTable().renderRow(0);
+        const std::string payload = encodeResultMsg(index, r, line);
+        {
+            std::lock_guard<std::mutex> lock(write_mu);
+            if (!writeFrame(out_fd, FrameType::Result, payload)) {
+                rc = 1;  // coordinator is gone; nothing left to do
+                break;
+            }
+        }
+        if (r.drained)
+            break;
+    }
+
+    // Final counters — sent even on drain so the coordinator's summary
+    // covers what this worker did before stopping.
+    StatsMsg stats;
+    stats.functionalExecutions =
+        engine.traceCache().functionalExecutions();
+    stats.compilations = engine.compileCache().compilations();
+    if (opts.artifactStore) {
+        stats.storeHits = opts.artifactStore->hits();
+        stats.storeMisses = opts.artifactStore->misses();
+        stats.storeBytesMapped = opts.artifactStore->bytesMapped();
+    }
+    {
+        std::lock_guard<std::mutex> lock(write_mu);
+        writeFrame(out_fd, FrameType::Stats, encodeStatsMsg(stats));
+    }
+    beat_stop.store(true, std::memory_order_release);
+    beater.join();
+    if (!pidfile.empty())
+        ::unlink(pidfile.c_str());
+    return rc;
+}
+
+} // namespace vgiw

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * The shard wire layer: everything the pipe transport (ShardSupervisor,
+ * PR 8) and the socket transport (RemotePool / vgiw_sweepd) share.
+ *
+ * PR 8 kept the payload codecs, the worker main loop and the test-fault
+ * harness as file-local details of worker_pool.cc. The remote sweep
+ * service speaks the *same* frames over TCP, so those details are now a
+ * contract between three parties — the forked pipe worker, the
+ * coordinator, and the daemon relaying between a socket and its own
+ * local fleet — and live here:
+ *
+ *  - **Payload codecs** — Result/Stats (worker -> coordinator), the
+ *    Hello/HelloAck handshake (client <-> daemon) and JobCrash
+ *    (daemon -> client). All ByteWriter/ByteReader over native layout;
+ *    the frame layer adds length + checksum, the Hello version +
+ *    sweep-hash check gates cross-binary skew.
+ *  - **runShardWorker** — the forked worker's main loop: one
+ *    ExperimentEngine for the worker's lifetime, a heartbeat thread
+ *    sharing the result fd behind a mutex, drain awareness, the pidfile
+ *    liveness breadcrumb, and the VGIW_TEST_FAULT arming point. The
+ *    pipe supervisor and the daemon's local fleet both fork this.
+ *  - **TestFault** — the VGIW_TEST_FAULT grammar. Process faults
+ *    (segv/kill/abort/stall/mute/badframe) are armed inside workers;
+ *    network faults (drop/corruptframe/stallframe/skew) are applied by
+ *    the daemon on its client socket. Distinct kind names let one env
+ *    var drive both layers: each side arms only the kinds it owns.
+ *  - **JobQueues** — round-robin per-worker queues with
+ *    steal-from-the-longest-victim's-back, used by both the pipe
+ *    supervisor and the remote pool so the two transports cannot drift
+ *    in scheduling behaviour.
+ */
+
+#ifndef VGIW_DRIVER_SHARD_WIRE_HH
+#define VGIW_DRIVER_SHARD_WIRE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "driver/experiment_engine.hh"
+
+namespace vgiw
+{
+
+/** Version byte of the TCP handshake. Bump on any frame-layout or
+ * payload-codec change: a daemon and client that disagree refuse each
+ * other at Hello time instead of misparsing frames. */
+constexpr uint32_t kRemoteProtocolVersion = 1;
+
+// ---------------------------------------------------------------------
+// Payload codecs. Native layout: pipe peers are fork()s of one process;
+// TCP peers are gated by the Hello version + sweep-hash handshake and
+// the documented same-architecture fleet assumption.
+
+/** FrameType::Result payload, decoded. */
+struct ResultMsg
+{
+    uint64_t index = 0;
+    bool ok = false, golden = false, ran = false, supported = false;
+    bool quarantined = false, drained = false;
+    SimErrorKind kind = SimErrorKind::None;
+    uint32_t attempts = 1;
+    uint64_t cycles = 0;
+    double systemPj = 0.0;
+    double l1MissRate = 0.0;
+    std::string error;
+    std::string jsonLine;
+};
+
+std::string encodeResultMsg(uint64_t index, const JobResult &r,
+                            std::string_view jsonLine);
+bool decodeResultMsg(const std::string &payload, ResultMsg *out);
+
+/** FrameType::Stats payload: final per-worker cache/store counters. */
+struct StatsMsg
+{
+    uint64_t functionalExecutions = 0;
+    uint64_t compilations = 0;
+    uint64_t storeHits = 0;
+    uint64_t storeMisses = 0;
+    uint64_t storeBytesMapped = 0;
+};
+
+std::string encodeStatsMsg(const StatsMsg &m);
+bool decodeStatsMsg(const std::string &payload, StatsMsg *out);
+
+/**
+ * FrameType::Hello payload (client -> daemon): protocol version, the
+ * sweep definition, and execution options. The daemon rebuilds the
+ * suite job list from the carried config knobs and *recomputes* the
+ * sweep hash; a mismatch (different binary, different registry,
+ * a config knob the handshake does not carry) refuses the handshake —
+ * the client quarantines the worker and, if every worker refuses,
+ * finishes locally. Job frames then carry only a u64 index into the
+ * agreed list.
+ */
+struct HelloMsg
+{
+    uint32_t version = kRemoteProtocolVersion;
+    std::string sweepHash; ///< ExperimentEngine::sweepHash of the jobs
+    std::string archsCsv;  ///< comma-joined archs, client order
+    // The sweepable config surface (mirrors the vgiw_run flags).
+    uint32_t lvcBytes = 64 * 1024;
+    uint32_t cvtCapacityBits = 64 * 1024;
+    bool enableReplication = true;
+    bool enableMemoryCoalescing = false;
+    uint64_t maxReplayCycles = 0;
+    double deadlineMs = 0.0;
+    // Execution options the daemon's workers must honour.
+    uint32_t retryMaxAttempts = 1;
+    bool collectMetrics = false;
+    /** Informational capability string: the client's --artifact-dir
+     * (empty when none). The daemon uses its *own* store; this is
+     * logged so operators can see mismatched cache topology. */
+    std::string artifactDir;
+};
+
+std::string encodeHelloMsg(const HelloMsg &m);
+bool decodeHelloMsg(const std::string &payload, HelloMsg *out);
+
+/** FrameType::HelloAck payload (daemon -> client). */
+struct HelloAckMsg
+{
+    uint32_t version = kRemoteProtocolVersion;
+    bool ok = false;
+    uint32_t shards = 0;      ///< daemon's local worker count
+    bool daemonHasStore = false;
+    std::string reason;       ///< refusal diagnostic when !ok
+};
+
+std::string encodeHelloAckMsg(const HelloAckMsg &m);
+bool decodeHelloAckMsg(const std::string &payload, HelloAckMsg *out);
+
+/** FrameType::JobCrash payload (daemon -> client): a local worker of
+ * the daemon died with this job in flight. The daemon does not retry —
+ * retry/quarantine accounting is owned by the client coordinator, so
+ * "reassigned exactly once" has a single bookkeeper. */
+struct JobCrashMsg
+{
+    uint64_t index = 0;
+    std::string why;
+};
+
+std::string encodeJobCrashMsg(const JobCrashMsg &m);
+bool decodeJobCrashMsg(const std::string &payload, JobCrashMsg *out);
+
+// ---------------------------------------------------------------------
+// Test faults: VGIW_TEST_FAULT="<kind>:<n>[:<millis>]".
+
+/**
+ * Parsed VGIW_TEST_FAULT. Process kinds fire inside a worker when it
+ * reaches global job index n; network kinds fire in the daemon when it
+ * has sent n frames on the client socket (Skew fires at handshake
+ * time). Sides ignore kinds they do not own, so one env var can drive
+ * a worker fault and be inherited harmlessly by the daemon, and vice
+ * versa.
+ */
+struct TestFault
+{
+    enum class Kind
+    {
+        None,
+        // Process faults (worker-side).
+        Segv,
+        Kill,
+        Abort,
+        Stall,
+        Mute,
+        BadFrame,     ///< emit one corrupt-checksum frame before job n
+        // Network faults (daemon-side).
+        Drop,         ///< close the client socket after n frames sent
+        CorruptFrame, ///< corrupt the checksum of the nth frame sent
+        StallFrame,   ///< dribble the nth frame byte-wise over millis
+        Skew,         ///< refuse the handshake with a version mismatch
+    };
+    Kind kind = Kind::None;
+    uint64_t index = 0;
+    int millis = 0;
+
+    bool isNetwork() const
+    {
+        return kind == Kind::Drop || kind == Kind::CorruptFrame ||
+               kind == Kind::StallFrame || kind == Kind::Skew;
+    }
+};
+
+TestFault parseTestFault(const char *spec);
+
+/** Arm a process-kind fault on @p injector (the engine's Replay point).
+ * BadFrame and network kinds are not injector faults and are ignored
+ * here — their owners act on them directly. */
+void armTestFault(const TestFault &f, FaultInjector &injector);
+
+/**
+ * Test hook (worker-process side): suppress heartbeat frames so the
+ * coordinator's heartbeat timeout path can be exercised without
+ * wedging the worker for real.
+ */
+void muteWorkerHeartbeatsForTest(bool mute);
+
+// ---------------------------------------------------------------------
+// The shared worker body.
+
+/** Options for one forked shard worker (subset of ShardOptions /
+ * the daemon's handshake-derived settings). */
+struct ShardWorkerOptions
+{
+    RetryPolicy retry{};
+    bool collectMetrics = false;
+    ArtifactStore *artifactStore = nullptr; ///< not owned
+    uint64_t heartbeatIntervalMs = 250;
+    /** Test hook: runs in the worker with the global job index just
+     * before the job executes. */
+    std::function<void(size_t index)> preJob;
+};
+
+/**
+ * The forked worker's main loop: read Job frames carrying u64 indices
+ * into @p jobs, run each through a worker-lifetime ExperimentEngine,
+ * stream back Result frames rendered with ResultTable::renderRow (the
+ * byte-identity contract), heartbeat from a side thread, send a final
+ * Stats frame, honour Shutdown/EOF/drain. Returns the worker exit
+ * code. Both the pipe supervisor and the daemon's local fleet use this
+ * as the spawnChild body.
+ */
+int runShardWorker(int in_fd, int out_fd,
+                   const std::vector<ExperimentJob> &jobs,
+                   const ShardWorkerOptions &opts);
+
+// ---------------------------------------------------------------------
+// Scheduling structure shared by both coordinators.
+
+/**
+ * Round-robin per-worker job queues with work stealing: a worker that
+ * drains its own queue steals from the *back* of the longest other
+ * queue — the victim keeps its front (likely warm in its worker's
+ * caches), the thief takes the tail.
+ */
+class JobQueues
+{
+  public:
+    explicit JobQueues(size_t workers) : queues_(workers ? workers : 1) {}
+
+    /** Deal @p jobs round-robin across the queues. */
+    void
+    deal(const std::vector<size_t> &jobs)
+    {
+        for (size_t k = 0; k < jobs.size(); ++k)
+            queues_[k % queues_.size()].push_back(jobs[k]);
+    }
+
+    void pushBack(size_t q, size_t job) { queues_[q].push_back(job); }
+    /** Requeue at the front: a re-dispatched job keeps priority. */
+    void pushFront(size_t q, size_t job) { queues_[q].push_front(job); }
+
+    bool
+    anyWork() const
+    {
+        for (const auto &q : queues_)
+            if (!q.empty())
+                return true;
+        return false;
+    }
+
+    /** Take the next job for worker @p q: own front, else steal from
+     * the longest other queue's back (counting it in @p steals). */
+    std::optional<size_t>
+    take(size_t q, uint64_t *steals)
+    {
+        if (!queues_[q].empty()) {
+            const size_t j = queues_[q].front();
+            queues_[q].pop_front();
+            return j;
+        }
+        size_t victim = queues_.size();
+        for (size_t o = 0; o < queues_.size(); ++o) {
+            if (o == q || queues_[o].empty())
+                continue;
+            if (victim == queues_.size() ||
+                queues_[o].size() > queues_[victim].size())
+                victim = o;
+        }
+        if (victim == queues_.size())
+            return std::nullopt;
+        const size_t j = queues_[victim].back();
+        queues_[victim].pop_back();
+        if (steals)
+            ++*steals;
+        return j;
+    }
+
+    /** Drain every queue, invoking @p fn on each queued job. */
+    template <typename Fn>
+    void
+    drainAll(Fn &&fn)
+    {
+        for (auto &q : queues_) {
+            for (size_t j : q)
+                fn(j);
+            q.clear();
+        }
+    }
+
+    size_t workers() const { return queues_.size(); }
+
+  private:
+    std::vector<std::deque<size_t>> queues_;
+};
+
+} // namespace vgiw
+
+#endif // VGIW_DRIVER_SHARD_WIRE_HH

@@ -6,17 +6,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <mutex>
+#include <functional>
 #include <optional>
 #include <thread>
 
 #include <poll.h>
 #include <unistd.h>
 
+#include "common/backoff.hh"
 #include "common/signal_drain.hh"
 #include "common/subprocess.hh"
 #include "driver/artifact_store.hh"
+#include "driver/shard_wire.hh"
 
 namespace vgiw
 {
@@ -25,8 +26,6 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
-
-std::atomic<bool> g_mute_heartbeats{false};
 
 uint64_t
 envMsOverride(const char *name, uint64_t fallback)
@@ -39,221 +38,33 @@ envMsOverride(const char *name, uint64_t fallback)
     return (end && *end == '\0') ? n : fallback;
 }
 
-// ---------------------------------------------------------------------
-// Wire payloads. Native layout is fine: both ends are fork()s of one
-// process image; the frame layer already adds length + checksum.
-
-/** FrameType::Result payload, decoded. */
-struct ResultMsg
-{
-    uint64_t index = 0;
-    bool ok = false, golden = false, ran = false, supported = false;
-    bool quarantined = false, drained = false;
-    SimErrorKind kind = SimErrorKind::None;
-    uint32_t attempts = 1;
-    uint64_t cycles = 0;
-    double systemPj = 0.0;
-    double l1MissRate = 0.0;
-    std::string error;
-    std::string jsonLine;
-};
-
-enum : uint8_t
-{
-    kMsgOk = 1 << 0,
-    kMsgGolden = 1 << 1,
-    kMsgRan = 1 << 2,
-    kMsgSupported = 1 << 3,
-    kMsgQuarantined = 1 << 4,
-    kMsgDrained = 1 << 5,
-};
-
-std::string
-encodeResult(uint64_t index, const JobResult &r, std::string_view jsonLine)
-{
-    std::string payload;
-    ByteWriter w(payload);
-    w.u64(index);
-    uint8_t flags = 0;
-    if (r.ok())
-        flags |= kMsgOk;
-    if (r.goldenPassed)
-        flags |= kMsgGolden;
-    if (r.ran)
-        flags |= kMsgRan;
-    if (r.stats.supported)
-        flags |= kMsgSupported;
-    if (r.quarantined)
-        flags |= kMsgQuarantined;
-    if (r.drained)
-        flags |= kMsgDrained;
-    w.u8(flags);
-    w.u8(uint8_t(r.errorKind));
-    w.u32(r.attempts);
-    w.u64(r.stats.cycles);
-    w.f64(r.stats.energy.systemPj());
-    w.f64(r.stats.l1Stats.missRate());
-    w.u32(uint32_t(r.error.size()));
-    w.raw(r.error.data(), r.error.size());
-    w.u32(uint32_t(jsonLine.size()));
-    w.raw(jsonLine.data(), jsonLine.size());
-    return payload;
-}
-
-bool
-decodeResult(const std::string &payload, ResultMsg *out)
-{
-    ByteReader rd(payload.data(), payload.size());
-    out->index = rd.u64();
-    const uint8_t flags = rd.u8();
-    out->ok = flags & kMsgOk;
-    out->golden = flags & kMsgGolden;
-    out->ran = flags & kMsgRan;
-    out->supported = flags & kMsgSupported;
-    out->quarantined = flags & kMsgQuarantined;
-    out->drained = flags & kMsgDrained;
-    out->kind = SimErrorKind(rd.u8());
-    out->attempts = rd.u32();
-    out->cycles = rd.u64();
-    out->systemPj = rd.f64();
-    out->l1MissRate = rd.f64();
-    const uint32_t elen = rd.u32();
-    if (const uint8_t *p = rd.bytes(elen))
-        out->error.assign(reinterpret_cast<const char *>(p), elen);
-    const uint32_t jlen = rd.u32();
-    if (const uint8_t *p = rd.bytes(jlen))
-        out->jsonLine.assign(reinterpret_cast<const char *>(p), jlen);
-    return rd.done();
-}
-
-/** FrameType::Stats payload: final per-worker cache/store counters. */
-struct StatsMsg
-{
-    uint64_t functionalExecutions = 0;
-    uint64_t compilations = 0;
-    uint64_t storeHits = 0;
-    uint64_t storeMisses = 0;
-    uint64_t storeBytesMapped = 0;
-};
-
-std::string
-encodeStats(const StatsMsg &m)
-{
-    std::string payload;
-    ByteWriter w(payload);
-    w.u64(m.functionalExecutions);
-    w.u64(m.compilations);
-    w.u64(m.storeHits);
-    w.u64(m.storeMisses);
-    w.u64(m.storeBytesMapped);
-    return payload;
-}
-
-bool
-decodeStats(const std::string &payload, StatsMsg *out)
-{
-    ByteReader rd(payload.data(), payload.size());
-    out->functionalExecutions = rd.u64();
-    out->compilations = rd.u64();
-    out->storeHits = rd.u64();
-    out->storeMisses = rd.u64();
-    out->storeBytesMapped = rd.u64();
-    return rd.done();
-}
-
-// ---------------------------------------------------------------------
-// Worker-side test fault (ctest scripts): VGIW_TEST_FAULT=
-// "<segv|kill|abort|stall|mute>:<globalJobIndex>[:<millis>]". The
-// fault is armed at the engine's Replay point, so the worker dies (or
-// stalls) genuinely mid-job, after tracing and compiling.
-
-struct TestFault
-{
-    enum class Kind { None, Segv, Kill, Abort, Stall, Mute };
-    Kind kind = Kind::None;
-    uint64_t index = 0;
-    int millis = 0;
-};
-
-TestFault
-parseTestFault(const char *spec)
-{
-    TestFault f;
-    if (!spec || !*spec)
-        return f;
-    std::string s(spec);
-    const size_t c1 = s.find(':');
-    if (c1 == std::string::npos)
-        return f;
-    const std::string action = s.substr(0, c1);
-    const size_t c2 = s.find(':', c1 + 1);
-    const std::string idx = s.substr(
-        c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
-    f.index = std::strtoull(idx.c_str(), nullptr, 10);
-    if (c2 != std::string::npos)
-        f.millis = int(std::strtoul(s.c_str() + c2 + 1, nullptr, 10));
-    if (action == "segv")
-        f.kind = TestFault::Kind::Segv;
-    else if (action == "kill")
-        f.kind = TestFault::Kind::Kill;
-    else if (action == "abort")
-        f.kind = TestFault::Kind::Abort;
-    else if (action == "stall")
-        f.kind = TestFault::Kind::Stall;
-    else if (action == "mute")
-        f.kind = TestFault::Kind::Mute;
-    return f;
-}
-
-void
-armTestFault(const TestFault &f, FaultInjector &injector)
-{
-    using Point = FaultInjector::Point;
-    // The worker engine runs one job at a time, so the local index the
-    // injector sees is always 0.
-    switch (f.kind) {
-      case TestFault::Kind::None:
-        break;
-      case TestFault::Kind::Segv:
-        injector.armRaise(Point::Replay, 0, SIGSEGV);
-        break;
-      case TestFault::Kind::Kill:
-        injector.armRaise(Point::Replay, 0, SIGKILL);
-        break;
-      case TestFault::Kind::Abort:
-        injector.armRaise(Point::Replay, 0, SIGABRT);
-        break;
-      case TestFault::Kind::Stall:
-        injector.armStall(Point::Replay, 0, f.millis ? f.millis : 30000);
-        break;
-      case TestFault::Kind::Mute:
-        // A silent worker: alive and busy but no heartbeats — the
-        // supervisor's timeout, not waitpid, has to catch this one.
-        muteWorkerHeartbeatsForTest(true);
-        injector.armStall(Point::Replay, 0, f.millis ? f.millis : 30000);
-        break;
-    }
-}
+/** Consecutive CorruptRecord reads tolerated on one stream before the
+ * peer is declared desynchronised. Aligned single-record corruption is
+ * skippable by design; a *run* of bad checksums usually means a
+ * corrupted length field took the framing with it. */
+constexpr unsigned kMaxConsecutiveCorrupt = 3;
 
 } // namespace
-
-void
-muteWorkerHeartbeatsForTest(bool mute)
-{
-    g_mute_heartbeats.store(mute, std::memory_order_relaxed);
-}
 
 std::string
 SupervisorStats::countersJson() const
 {
-    char buf[192];
+    char buf[384];
     std::snprintf(buf, sizeof buf,
-                  "{\"supervisor.crashes\":%llu,"
+                  "{\"supervisor.corrupt_frames\":%llu,"
+                  "\"supervisor.crashes\":%llu,"
+                  "\"supervisor.fallback_jobs\":%llu,"
                   "\"supervisor.heartbeat_misses\":%llu,"
+                  "\"supervisor.link_losses\":%llu,"
+                  "\"supervisor.reconnects\":%llu,"
                   "\"supervisor.restarts\":%llu,"
                   "\"supervisor.steals\":%llu}",
+                  (unsigned long long)corruptFrames,
                   (unsigned long long)crashes,
+                  (unsigned long long)fallbackJobs,
                   (unsigned long long)heartbeatMisses,
+                  (unsigned long long)linkLosses,
+                  (unsigned long long)reconnects,
                   (unsigned long long)restarts,
                   (unsigned long long)steals);
     return buf;
@@ -267,141 +78,14 @@ ShardSupervisor::ShardSupervisor(ShardOptions opts) : opts_(std::move(opts))
         "VGIW_SHARD_HEARTBEAT_TIMEOUT_MS", opts_.heartbeatTimeoutMs);
     opts_.respawnBackoffMs =
         envMsOverride("VGIW_SHARD_BACKOFF_MS", opts_.respawnBackoffMs);
+    opts_.respawnBackoffCapMs = envMsOverride("VGIW_SHARD_BACKOFF_CAP_MS",
+                                              opts_.respawnBackoffCapMs);
     if (opts_.heartbeatIntervalMs == 0)
         opts_.heartbeatIntervalMs = 250;
     if (opts_.heartbeatTimeoutMs < 2 * opts_.heartbeatIntervalMs)
         opts_.heartbeatTimeoutMs = 2 * opts_.heartbeatIntervalMs;
-}
-
-int
-ShardSupervisor::workerMain(int in_fd, int out_fd,
-                            const std::vector<ExperimentJob> &jobs)
-{
-    ignoreSigpipe();
-    installDrainHandlers();
-
-    // Liveness breadcrumb for orphan-detection tests: present while
-    // the worker runs, removed on clean exit. A crash leaves a stale
-    // file whose pid no longer exists — which is exactly the
-    // distinction the no-orphans check needs.
-    std::string pidfile;
-    if (const char *dir = std::getenv("VGIW_SHARD_PIDFILE_DIR");
-        dir && *dir) {
-        pidfile = std::string(dir) + "/worker-" +
-                  std::to_string(::getpid()) + ".alive";
-        if (std::FILE *f = std::fopen(pidfile.c_str(), "w")) {
-            std::fprintf(f, "%d\n", int(::getpid()));
-            std::fclose(f);
-        }
-    }
-
-    const TestFault fault = parseTestFault(std::getenv("VGIW_TEST_FAULT"));
-
-    FaultInjector injector;
-    MetricsCollector collector;
-    EngineOptions eopts;
-    eopts.jobs = 1;
-    eopts.retry = opts_.retry;
-    eopts.artifactStore = opts_.artifactStore;
-    eopts.injector = &injector;
-    eopts.stop = &drainFlag();
-    if (opts_.collectMetrics)
-        eopts.metrics = &collector;
-    // One engine for the worker's lifetime: its trace/compile caches
-    // persist across jobs, so a worker that sees a workload twice
-    // traces it once — and with a shared artifact store, the whole
-    // fleet traces it once.
-    ExperimentEngine engine(eopts);
-
-    // The heartbeat thread shares the result pipe; a mutex keeps
-    // frames from interleaving mid-write.
-    std::mutex write_mu;
-    std::atomic<bool> beat_stop{false};
-    std::thread beater([&]() {
-        const auto interval =
-            std::chrono::milliseconds(opts_.heartbeatIntervalMs);
-        auto next = Clock::now();
-        while (!beat_stop.load(std::memory_order_acquire)) {
-            if (!g_mute_heartbeats.load(std::memory_order_relaxed)) {
-                std::lock_guard<std::mutex> lock(write_mu);
-                writeFrame(out_fd, FrameType::Heartbeat, {});
-            }
-            next += interval;
-            // Sleep in short slices so shutdown never waits a full
-            // interval.
-            while (!beat_stop.load(std::memory_order_acquire) &&
-                   Clock::now() < next) {
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(20));
-            }
-        }
-    });
-
-    int rc = 0;
-    for (;;) {
-        if (drainRequested())
-            break;
-        Frame frame;
-        const ReadStatus st = readFrame(in_fd, &frame);
-        if (st == ReadStatus::Interrupted)
-            continue;  // a signal landed; the loop re-checks the drain
-        if (st == ReadStatus::Eof)
-            break;  // coordinator closed the pipe: orderly exit
-        if (st != ReadStatus::Ok) {
-            rc = 1;  // Corrupt / Error: desynchronised coordinator
-            break;
-        }
-        if (frame.type == FrameType::Shutdown)
-            break;
-        if (frame.type != FrameType::Job)
-            continue;
-
-        ByteReader rd(frame.payload.data(), frame.payload.size());
-        const uint64_t index = rd.u64();
-        if (!rd.done() || index >= jobs.size()) {
-            rc = 1;
-            break;
-        }
-        if (fault.kind != TestFault::Kind::None && fault.index == index)
-            armTestFault(fault, injector);
-        if (opts_.workerPreJob)
-            opts_.workerPreJob(size_t(index));
-
-        auto results = engine.run({jobs[index]});
-        const JobResult &r = results[0];
-        const std::string_view line = engine.resultTable().renderRow(0);
-        const std::string payload = encodeResult(index, r, line);
-        {
-            std::lock_guard<std::mutex> lock(write_mu);
-            if (!writeFrame(out_fd, FrameType::Result, payload)) {
-                rc = 1;  // coordinator is gone; nothing left to do
-                break;
-            }
-        }
-        if (r.drained)
-            break;
-    }
-
-    // Final counters — sent even on drain so the coordinator's summary
-    // covers what this worker did before stopping.
-    StatsMsg stats;
-    stats.functionalExecutions =
-        engine.traceCache().functionalExecutions();
-    stats.compilations = engine.compileCache().compilations();
-    if (opts_.artifactStore) {
-        stats.storeHits = opts_.artifactStore->hits();
-        stats.storeMisses = opts_.artifactStore->misses();
-        stats.storeBytesMapped = opts_.artifactStore->bytesMapped();
-    }
-    {
-        std::lock_guard<std::mutex> lock(write_mu);
-        writeFrame(out_fd, FrameType::Stats, encodeStats(stats));
-    }
-    beat_stop.store(true, std::memory_order_release);
-    beater.join();
-    if (!pidfile.empty())
-        ::unlink(pidfile.c_str());
-    return rc;
+    if (opts_.respawnBackoffCapMs < opts_.respawnBackoffMs)
+        opts_.respawnBackoffCapMs = opts_.respawnBackoffMs;
 }
 
 std::vector<ShardRow>
@@ -506,14 +190,22 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
         Clock::time_point lastBeat{};
         Clock::time_point backoffUntil{};
         unsigned consecutiveCrashes = 0;
+        unsigned consecutiveCorrupt = 0;
         std::string pendingReason;  ///< supervisor-initiated kill cause
-        std::deque<size_t> queue;
+        BackoffSchedule backoff{};
     };
     std::vector<Slot> slots(nshards);
-    for (size_t s = 0; s < slots.size(); ++s)
+    for (size_t s = 0; s < slots.size(); ++s) {
         slots[s].id = s;
-    for (size_t k = 0; k < pending.size(); ++k)
-        slots[k % nshards].queue.push_back(pending[k]);
+        slots[s].backoff.baseMs = opts_.respawnBackoffMs;
+        slots[s].backoff.capMs = opts_.respawnBackoffCapMs;
+        // Decorrelate the slots' jitter streams; the schedule itself
+        // stays deterministic per (seed, attempt).
+        slots[s].backoff.seed =
+            (uint64_t(::getpid()) << 32) ^ uint64_t(s + 1);
+    }
+    JobQueues queues(nshards);
+    queues.deal(pending);
 
     std::vector<unsigned> dispatches(jobs.size(), 0);
     const unsigned crash_budget =
@@ -610,37 +302,6 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
         ++done;
     };
 
-    auto workAvailable = [&]() {
-        for (const Slot &s : slots)
-            if (!s.queue.empty())
-                return true;
-        return false;
-    };
-
-    auto takeJob = [&](Slot &s) -> std::optional<size_t> {
-        if (!s.queue.empty()) {
-            const size_t j = s.queue.front();
-            s.queue.pop_front();
-            return j;
-        }
-        // Steal from the back of the longest other queue: the victim
-        // keeps its front (likely already warm in its worker's caches),
-        // the thief takes the tail.
-        Slot *victim = nullptr;
-        for (Slot &o : slots) {
-            if (&o == &s || o.queue.empty())
-                continue;
-            if (!victim || o.queue.size() > victim->queue.size())
-                victim = &o;
-        }
-        if (!victim)
-            return std::nullopt;
-        const size_t j = victim->queue.back();
-        victim->queue.pop_back();
-        ++stats_.steals;
-        return j;
-    };
-
     size_t spawn_failures = 0;
     auto spawn = [&](Slot &s, bool respawn) {
         // Hygiene: the child must not inherit the pipe ends of its
@@ -653,12 +314,18 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
             other_fds.push_back(o.cp.toChild);
             other_fds.push_back(o.cp.fromChild);
         }
+        ShardWorkerOptions wopts;
+        wopts.retry = opts_.retry;
+        wopts.collectMetrics = opts_.collectMetrics;
+        wopts.artifactStore = opts_.artifactStore;
+        wopts.heartbeatIntervalMs = opts_.heartbeatIntervalMs;
+        wopts.preJob = opts_.workerPreJob;
         std::string err;
         const bool ok = spawnChild(
-            [this, &jobs, other_fds](int in_fd, int out_fd) {
+            [&jobs, other_fds, wopts](int in_fd, int out_fd) {
                 for (int fd : other_fds)
                     ::close(fd);
-                return workerMain(in_fd, out_fd, jobs);
+                return runShardWorker(in_fd, out_fd, jobs, wopts);
             },
             &s.cp, &err);
         if (!ok) {
@@ -673,6 +340,7 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
         s.busy = false;
         s.lastBeat = Clock::now();
         s.pendingReason.clear();
+        s.consecutiveCorrupt = 0;
         if (respawn)
             ++stats_.restarts;
         std::fprintf(stderr, "shard worker %zu %s (pid %d)\n", s.id,
@@ -689,7 +357,7 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
             // The worker died between spawn and dispatch; the reap path
             // below will notice. Undo the dispatch accounting.
             --dispatches[i];
-            s.queue.push_front(i);
+            queues.pushFront(s.id, i);
             s.pendingReason = "job dispatch failed (pipe closed)";
             return;
         }
@@ -708,7 +376,7 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
                 break;
               case FrameType::Result: {
                 ResultMsg m;
-                if (!decodeResult(frame.payload, &m) ||
+                if (!decodeResultMsg(frame.payload, &m) ||
                     m.index >= jobs.size()) {
                     break;  // corrupt payload; the checksum said Ok,
                             // but be defensive about the layout
@@ -726,7 +394,7 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
                     if (draining)
                         finalizeDrained(size_t(m.index));
                     else
-                        s.queue.push_front(size_t(m.index));
+                        queues.pushFront(s.id, size_t(m.index));
                     break;
                 }
                 finalizeResult(m);
@@ -734,7 +402,7 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
               }
               case FrameType::Stats: {
                 StatsMsg m;
-                if (!decodeStats(frame.payload, &m))
+                if (!decodeStatsMsg(frame.payload, &m))
                     break;
                 stats_.functionalExecutions += m.functionalExecutions;
                 stats_.compilations += m.compilations;
@@ -757,14 +425,21 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
     };
 
     /** Drain buffered frames (non-blocking) so a Result or Stats the
-     * worker managed to send before dying is not lost with the pipe. */
+     * worker managed to send before dying is not lost with the pipe.
+     * Checksum-bad but aligned records are skipped and counted, same
+     * as in the live poll loop. */
     auto drainPipe = [&](Slot &s) {
         while (s.cp.fromChild >= 0) {
             struct pollfd pfd = {s.cp.fromChild, POLLIN, 0};
             if (::poll(&pfd, 1, 0) <= 0 || !(pfd.revents & POLLIN))
                 break;
             Frame frame;
-            if (readFrame(s.cp.fromChild, &frame) != ReadStatus::Ok)
+            const ReadStatus st = readFrame(s.cp.fromChild, &frame);
+            if (st == ReadStatus::CorruptRecord) {
+                ++stats_.corruptFrames;
+                continue;
+            }
+            if (st != ReadStatus::Ok)
                 break;
             handleFrame(s, frame);
         }
@@ -776,7 +451,7 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
         drainPipe(s);
         closeSlotFds(s);
         // SIGKILL before the blocking reap: if the child is alive but
-        // wedged (it sent a corrupt frame, say), waitpid must not hang
+        // wedged (it sent a torn frame, say), waitpid must not hang
         // the coordinator. A zombie discards the signal harmlessly.
         killChild(s.cp.pid, SIGKILL);
         const ChildStatus st = waitChild(s.cp.pid);
@@ -804,13 +479,12 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
             } else if (draining) {
                 finalizeDrained(i);
             } else {
-                s.queue.push_front(i);
+                queues.pushFront(s.id, i);
             }
-            const unsigned shift =
-                std::min(s.consecutiveCrashes - 1, 5u);
             s.backoffUntil =
-                Clock::now() + std::chrono::milliseconds(
-                                   opts_.respawnBackoffMs << shift);
+                Clock::now() +
+                std::chrono::milliseconds(
+                    s.backoff.delayMs(s.consecutiveCrashes));
         } else if (!clean && !draining) {
             std::fprintf(stderr,
                          "shard worker %zu (pid %d) exited while idle: "
@@ -820,7 +494,7 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
     };
 
     for (Slot &s : slots) {
-        if (!s.queue.empty())
+        if (queues.anyWork())
             spawn(s, /*respawn=*/false);
     }
 
@@ -840,11 +514,7 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
             }
         }
         if (draining) {
-            for (Slot &s : slots) {
-                for (size_t j : s.queue)
-                    finalizeDrained(j);
-                s.queue.clear();
-            }
+            queues.drainAll(finalizeDrained);
             bool any_busy = false;
             for (const Slot &s : slots)
                 any_busy |= s.alive && s.busy;
@@ -853,17 +523,17 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
         } else {
             for (Slot &s : slots) {
                 if (!s.alive && now >= s.backoffUntil &&
-                    workAvailable()) {
+                    queues.anyWork()) {
                     spawn(s, /*respawn=*/true);
                 }
             }
             for (Slot &s : slots) {
                 if (s.alive && !s.busy) {
-                    if (auto j = takeJob(s))
+                    if (auto j = queues.take(s.id, &stats_.steals))
                         dispatch(s, *j);
                 }
             }
-            if (spawn_failures > 0 && !workAvailable()) {
+            if (spawn_failures > 0 && !queues.anyWork()) {
                 // nothing queued; in-flight jobs still complete below
             } else if (spawn_failures >= 4 * slots.size()) {
                 // fork() persistently failing: fail the remaining jobs
@@ -872,15 +542,11 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
                 for (const Slot &s : slots)
                     any_alive |= s.alive;
                 if (!any_alive) {
-                    for (Slot &s : slots) {
-                        while (!s.queue.empty()) {
-                            const size_t j = s.queue.front();
-                            s.queue.pop_front();
-                            dispatches[j] = crash_budget;
-                            finalizeCrash(j, "worker crashed: cannot "
-                                             "spawn worker process");
-                        }
-                    }
+                    queues.drainAll([&](size_t j) {
+                        dispatches[j] = crash_budget;
+                        finalizeCrash(j, "worker crashed: cannot "
+                                         "spawn worker process");
+                    });
                     continue;
                 }
             }
@@ -906,9 +572,21 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
                         const ReadStatus st =
                             readFrame(s.cp.fromChild, &frame);
                         if (st == ReadStatus::Ok) {
+                            s.consecutiveCorrupt = 0;
                             handleFrame(s, frame);
                         } else if (st == ReadStatus::Interrupted) {
                             // re-check the drain flag next iteration
+                        } else if (st == ReadStatus::CorruptRecord) {
+                            // Aligned corruption: skip exactly this
+                            // record and keep the stream. A run of
+                            // them means real desync — kill then.
+                            ++stats_.corruptFrames;
+                            if (++s.consecutiveCorrupt >=
+                                kMaxConsecutiveCorrupt) {
+                                s.pendingReason =
+                                    "repeated corrupt frames; killed";
+                                death(s);
+                            }
                         } else {
                             if (st == ReadStatus::Corrupt) {
                                 s.pendingReason =
@@ -990,7 +668,12 @@ ShardSupervisor::run(const std::vector<ExperimentJob> &jobs)
             const int n = ::poll(&pfd, 1, 100);
             if (n > 0 && (pfd.revents & POLLIN)) {
                 Frame frame;
-                if (readFrame(s.cp.fromChild, &frame) != ReadStatus::Ok)
+                const ReadStatus st = readFrame(s.cp.fromChild, &frame);
+                if (st == ReadStatus::CorruptRecord) {
+                    ++stats_.corruptFrames;
+                    continue;
+                }
+                if (st != ReadStatus::Ok)
                     break;
                 handleFrame(s, frame);
                 if (frame.type == FrameType::Stats)

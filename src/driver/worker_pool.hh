@@ -52,6 +52,7 @@
 
 #include "common/sim_error.hh"
 #include "driver/experiment_engine.hh"
+#include "driver/shard_wire.hh"
 
 namespace vgiw
 {
@@ -96,6 +97,13 @@ struct SupervisorStats
     uint64_t crashes = 0;         ///< worker deaths with a job in flight
     uint64_t steals = 0;          ///< jobs taken from another shard's queue
     uint64_t heartbeatMisses = 0; ///< silent workers killed by timeout
+    uint64_t corruptFrames = 0;   ///< checksum-bad records skipped in-stream
+
+    // Remote transport counters (RemotePool; always 0 for the pipe
+    // supervisor, but part of the one stable counter surface).
+    uint64_t reconnects = 0;   ///< successful re-connects after a loss
+    uint64_t linkLosses = 0;   ///< connections lost/refused/stalled
+    uint64_t fallbackJobs = 0; ///< jobs finished by the local fallback
 
     // Summed from each worker's final Stats frame (workers that crash
     // never report; these are a floor, used for the summary line).
@@ -111,7 +119,8 @@ struct SupervisorStats
 
 /** Coordinator knobs. Env overrides (applied in the constructor, for
  * tests and ops tuning): VGIW_SHARD_HEARTBEAT_MS,
- * VGIW_SHARD_HEARTBEAT_TIMEOUT_MS, VGIW_SHARD_BACKOFF_MS. */
+ * VGIW_SHARD_HEARTBEAT_TIMEOUT_MS, VGIW_SHARD_BACKOFF_MS,
+ * VGIW_SHARD_BACKOFF_CAP_MS. */
 struct ShardOptions
 {
     /** Worker process count (clamped to the job count; min 1). */
@@ -137,9 +146,13 @@ struct ShardOptions
 
     uint64_t heartbeatIntervalMs = 250;
     uint64_t heartbeatTimeoutMs = 10000;
-    /** Base respawn backoff after a crash; doubles per consecutive
-     * crash of the same shard (capped at 32x). */
+    /** Base respawn backoff after a crash; the envelope doubles per
+     * consecutive crash of the same shard with uniform jitter in
+     * [d/2, d] (common/backoff.hh) so simultaneously-crashed workers
+     * do not respawn in lockstep. */
     uint64_t respawnBackoffMs = 200;
+    /** Documented backoff ceiling: no delay ever exceeds this. */
+    uint64_t respawnBackoffCapMs = 10000;
 
     /** Workers collect per-job metrics (the "metrics" JSON object),
      * matching a single-process --metrics run byte-for-byte. */
@@ -190,21 +203,13 @@ class ShardSupervisor
     const SupervisorStats &stats() const { return stats_; }
 
   private:
-    /** Worker-process main loop (runs in the forked child). */
-    int workerMain(int in_fd, int out_fd,
-                   const std::vector<ExperimentJob> &jobs);
-
     ShardOptions opts_;
     ResultTable table_;
     SupervisorStats stats_;
 };
 
-/**
- * Test hook (worker-process side): suppress heartbeat frames so the
- * coordinator's heartbeat timeout path can be exercised without
- * wedging the worker for real.
- */
-void muteWorkerHeartbeatsForTest(bool mute);
+// muteWorkerHeartbeatsForTest and the worker main loop moved to
+// driver/shard_wire.hh — the daemon's local fleet forks the same body.
 
 } // namespace vgiw
 

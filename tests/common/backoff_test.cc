@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Backoff-schedule tests: the jittered exponential envelope is pinned —
+ * delays double per attempt, every delay stays within [d/2, d], the
+ * documented ceiling is never exceeded even at absurd attempt counts,
+ * and the jitter is deterministic per (seed, attempt) but decorrelated
+ * across seeds so a simultaneously-crashed fleet does not respawn in
+ * lockstep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/backoff.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+TEST(BackoffSchedule, EnvelopeDoublesAndJitterStaysInHalfOpenBand)
+{
+    BackoffSchedule b;
+    b.baseMs = 200;
+    b.capMs = 10000;
+    b.seed = 42;
+
+    // Attempt k's envelope is min(base << (k-1), cap); every delay must
+    // land in [envelope/2, envelope].
+    uint64_t envelope = b.baseMs;
+    for (unsigned attempt = 1; attempt <= 12; ++attempt) {
+        const uint64_t d = b.delayMs(attempt);
+        EXPECT_GE(d, envelope / 2) << "attempt " << attempt;
+        EXPECT_LE(d, envelope) << "attempt " << attempt;
+        envelope = std::min(envelope * 2, b.capMs);
+    }
+}
+
+TEST(BackoffSchedule, CeilingHoldsAtAbsurdAttemptCounts)
+{
+    BackoffSchedule b;
+    b.baseMs = 200;
+    b.capMs = 10000;
+    b.seed = 7;
+    // Shifts beyond 63 bits must saturate to the cap, not wrap to a
+    // tiny (or huge) delay.
+    for (unsigned attempt : {20u, 33u, 64u, 100u, 1000000u}) {
+        const uint64_t d = b.delayMs(attempt);
+        EXPECT_GE(d, b.capMs / 2) << "attempt " << attempt;
+        EXPECT_LE(d, b.capMs) << "attempt " << attempt;
+    }
+}
+
+TEST(BackoffSchedule, DeterministicPerSeedAttemptButDecorrelated)
+{
+    BackoffSchedule a;
+    a.baseMs = 200;
+    a.capMs = 10000;
+    a.seed = 1;
+    BackoffSchedule b = a;
+
+    // Same (seed, attempt) -> same delay: the schedule is replayable.
+    for (unsigned attempt = 1; attempt <= 8; ++attempt)
+        EXPECT_EQ(a.delayMs(attempt), b.delayMs(attempt));
+
+    // Different seeds must not all collapse onto one schedule (this is
+    // the whole point of the jitter: crashed-together workers spread
+    // out). With a 5000ms-wide band at attempt 7, 16 seeds colliding
+    // on one value would be astronomically unlikely.
+    std::set<uint64_t> delays;
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+        BackoffSchedule s;
+        s.baseMs = 200;
+        s.capMs = 10000;
+        s.seed = seed;
+        delays.insert(s.delayMs(7));
+    }
+    EXPECT_GT(delays.size(), 1u);
+}
+
+TEST(BackoffSchedule, AttemptZeroIsTreatedAsFirstAttempt)
+{
+    BackoffSchedule b;
+    b.baseMs = 100;
+    b.capMs = 1000;
+    b.seed = 3;
+    EXPECT_EQ(b.delayMs(0), b.delayMs(1));
+}
+
+TEST(BackoffSchedule, CapBelowBaseClampsToCap)
+{
+    // A misconfigured cap below the base must still honour the ceiling
+    // contract: no delay ever exceeds capMs.
+    BackoffSchedule b;
+    b.baseMs = 5000;
+    b.capMs = 100;
+    b.seed = 9;
+    for (unsigned attempt = 1; attempt <= 6; ++attempt)
+        EXPECT_LE(b.delayMs(attempt), b.capMs) << attempt;
+}
+
+} // namespace
+} // namespace vgiw

@@ -1,11 +1,14 @@
 /**
  * @file
- * Subprocess-layer tests: frames round-trip over real pipes, every
- * corruption mode (flipped payload byte, truncated frame, oversized
- * length, mid-frame peer death) reads as Corrupt — never a
- * desynchronised protocol — and spawnChild/waitChild classify clean
- * exits and signal deaths correctly. Fork-based: these suites are
- * deliberately outside the sanitizer allowlist filters.
+ * Subprocess-layer tests: frames round-trip over real pipes (including
+ * a one-byte-at-a-time feed — the short-read case TCP produces
+ * constantly), corruption is graded correctly (checksum mismatch on an
+ * aligned record reads as CorruptRecord and leaves the next frame
+ * parseable; torn frames, oversized lengths and mid-frame peer death
+ * read as Corrupt), SO_RCVTIMEO expiry surfaces as Timeout, and
+ * spawnChild/waitChild classify clean exits and signal deaths
+ * correctly. Fork-based: these suites are deliberately outside the
+ * sanitizer allowlist filters.
  */
 
 #include <gtest/gtest.h>
@@ -13,9 +16,12 @@
 #include <csignal>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/net.hh"
 #include "common/subprocess.hh"
 
 namespace vgiw
@@ -101,10 +107,42 @@ TEST(Subprocess, ClosedPipeReadsAsEofOnFrameBoundary)
     EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::Eof);
 }
 
-TEST(Subprocess, FlippedPayloadByteIsCorrupt)
+TEST(Subprocess, OneByteAtATimeFeedReassembles)
+{
+    // TCP (and a pathological pipe writer) may deliver a frame in
+    // arbitrarily small pieces; readFrame must loop over short reads
+    // until the header and payload are complete. Feed a frame one byte
+    // at a time from a writer thread while the reader blocks.
+    Pipe p;
+    Pipe capture;
+    const std::string payload = "short-read torture";
+    ASSERT_TRUE(
+        writeFrame(capture.writeEnd(), FrameType::Result, payload));
+    capture.closeWrite();
+    char buf[64];
+    const ssize_t n = ::read(capture.readEnd(), buf, sizeof buf);
+    ASSERT_GT(n, 0);
+
+    std::thread writer([&]() {
+        for (ssize_t i = 0; i < n; ++i) {
+            ASSERT_EQ(::write(p.writeEnd(), buf + i, 1), 1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        p.closeWrite();
+    });
+    Frame f;
+    EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::Ok);
+    EXPECT_EQ(f.type, FrameType::Result);
+    EXPECT_EQ(f.payload, payload);
+    writer.join();
+}
+
+TEST(Subprocess, FlippedPayloadByteIsCorruptRecordAndSkippable)
 {
     // Build a valid frame in a buffer, corrupt the payload, then push
     // the damaged bytes through a pipe: the checksum must catch it.
+    // The length field is intact, so the stream stays aligned —
+    // CorruptRecord, and the *next* frame must still parse.
     Pipe capture;
     ASSERT_TRUE(
         writeFrame(capture.writeEnd(), FrameType::Result, "payload"));
@@ -116,9 +154,74 @@ TEST(Subprocess, FlippedPayloadByteIsCorrupt)
 
     Pipe p;
     ASSERT_EQ(::write(p.writeEnd(), buf, size_t(n)), n);
+    ASSERT_TRUE(writeFrame(p.writeEnd(), FrameType::Heartbeat, "next"));
     p.closeWrite();
     Frame f;
-    EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::Corrupt);
+    EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::CorruptRecord);
+    EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::Ok);
+    EXPECT_EQ(f.type, FrameType::Heartbeat);
+    EXPECT_EQ(f.payload, "next");
+    EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::Eof);
+}
+
+TEST(Subprocess, FlippedTypeByteIsCaughtByChecksum)
+{
+    // The checksum covers the header too: a flipped *type* byte (with
+    // payload intact) must read as CorruptRecord, not dispatch as a
+    // different message kind.
+    Pipe capture;
+    ASSERT_TRUE(writeFrame(capture.writeEnd(), FrameType::Result, "x"));
+    capture.closeWrite();
+    char buf[64];
+    const ssize_t n = ::read(capture.readEnd(), buf, sizeof buf);
+    ASSERT_GT(n, 0);
+    buf[4] = char(FrameType::Shutdown);  // type byte lives at offset 4
+
+    Pipe p;
+    ASSERT_EQ(::write(p.writeEnd(), buf, size_t(n)), n);
+    p.closeWrite();
+    Frame f;
+    EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::CorruptRecord);
+}
+
+TEST(Subprocess, CorruptFrameForTestReadsAsCorruptRecord)
+{
+    Pipe p;
+    ASSERT_TRUE(writeCorruptFrameForTest(p.writeEnd(),
+                                         FrameType::Heartbeat, "drill"));
+    ASSERT_TRUE(writeFrame(p.writeEnd(), FrameType::Result, "after"));
+    p.closeWrite();
+    Frame f;
+    EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::CorruptRecord);
+    EXPECT_EQ(readFrame(p.readEnd(), &f), ReadStatus::Ok);
+    EXPECT_EQ(f.payload, "after");
+}
+
+TEST(Subprocess, SocketRecvTimeoutSurfacesAsTimeout)
+{
+    // A stalled TCP peer must surface as Timeout (via SO_RCVTIMEO),
+    // not hang the reader. Pipes never set timeouts, so sockets are
+    // the only transport that sees this status.
+    int sv[2] = {-1, -1};
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(setSocketTimeouts(sv[0], /*recvMs=*/50, /*sendMs=*/0));
+
+    Frame f;
+    EXPECT_EQ(readFrame(sv[0], &f), ReadStatus::Timeout);
+
+    // Mid-frame stall: send only part of a frame, then nothing.
+    Pipe capture;
+    ASSERT_TRUE(writeFrame(capture.writeEnd(), FrameType::Result,
+                           std::string(100, 'q')));
+    capture.closeWrite();
+    char buf[160];
+    const ssize_t n = ::read(capture.readEnd(), buf, sizeof buf);
+    ASSERT_GT(n, 20);
+    ASSERT_EQ(::write(sv[1], buf, size_t(n) / 2), n / 2);
+    EXPECT_EQ(readFrame(sv[0], &f), ReadStatus::Timeout);
+
+    ::close(sv[0]);
+    ::close(sv[1]);
 }
 
 TEST(Subprocess, MidFramePeerDeathIsCorruptNotEof)

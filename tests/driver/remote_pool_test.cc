@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Remote sweep service tests: a real SweepService on a localhost
+ * socket (in-process thread, forked workers) serving a RemotePool
+ * client. Pins the acceptance surface of DESIGN.md §16 — remote sweeps
+ * are byte-identical to single-process runs, a dropped connection
+ * reconnects and reassigns in-flight jobs exactly once, corrupt frames
+ * are skipped and recovered from, version skew quarantines the worker,
+ * an unreachable or fully-quarantined fleet degrades to local
+ * execution, and journaled results restore without touching the
+ * network. Fork-based (each served connection forks a fleet):
+ * deliberately outside the sanitizer allowlist filters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/net.hh"
+#include "driver/experiment_engine.hh"
+#include "driver/remote_pool.hh"
+#include "driver/result_journal.hh"
+#include "workloads/workload.hh"
+
+namespace vgiw
+{
+namespace
+{
+
+std::vector<ExperimentJob>
+smallJobs()
+{
+    std::vector<ExperimentJob> jobs;
+    for (const char *arch : {"vgiw", "fermi", "sgmf"}) {
+        ExperimentJob j;
+        j.workload = "NN/euclid";
+        j.arch = arch;
+        jobs.push_back(std::move(j));
+    }
+    ExperimentJob j;
+    j.workload = "BFS/Kernel";
+    j.arch = "vgiw";
+    jobs.push_back(std::move(j));
+    return jobs;
+}
+
+std::vector<std::string>
+referenceLines(const std::vector<ExperimentJob> &jobs)
+{
+    ExperimentEngine engine{EngineOptions{1}};
+    auto results = engine.run(jobs);
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < results.size(); ++i)
+        lines.emplace_back(engine.resultTable().renderRow(i));
+    return lines;
+}
+
+/** One in-process daemon: SweepService::serve on a thread, listening
+ * on an ephemeral localhost port, serving a fixed connection count. */
+class TestDaemon
+{
+  public:
+    /** @p fault is the VGIW_TEST_FAULT spec the daemon should arm
+     * (set only around construction — network kinds are latched in
+     * the SweepService constructor). */
+    void
+    start(const std::vector<ExperimentJob> &jobs, int connections,
+          const char *fault = nullptr, unsigned shards = 2,
+          uint32_t advertiseVersion = kRemoteProtocolVersion)
+    {
+        std::string err;
+        lfd_ = listenTcp("127.0.0.1", 0, &port_, &err);
+        ASSERT_GE(lfd_, 0) << err;
+        SweepServiceOptions opts;
+        opts.shards = shards;
+        opts.jobsOverride = jobs;
+        opts.advertiseVersion = advertiseVersion;
+        opts.verbose = false;
+        if (fault)
+            ::setenv("VGIW_TEST_FAULT", fault, 1);
+        svc_ = std::make_unique<SweepService>(opts);
+        if (fault)
+            ::unsetenv("VGIW_TEST_FAULT");
+        th_ = std::thread([this, connections]() {
+            for (int k = 0; k < connections; ++k)
+                svc_->serve(lfd_, /*once=*/true, nullptr);
+        });
+    }
+
+    uint16_t port() const { return port_; }
+
+    void
+    stop()
+    {
+        // shutdown() (not just close) on the listening socket: a
+        // thread already blocked in accept() is woken with EINVAL,
+        // whereas close() leaves it parked forever on Linux.
+        if (lfd_ >= 0)
+            ::shutdown(lfd_, SHUT_RDWR);
+        if (th_.joinable())
+            th_.join();
+        if (lfd_ >= 0) {
+            closeFd(lfd_);
+            lfd_ = -1;
+        }
+    }
+
+    ~TestDaemon() { stop(); }
+
+  private:
+    int lfd_ = -1;
+    uint16_t port_ = 0;
+    std::unique_ptr<SweepService> svc_;
+    std::thread th_;
+};
+
+RemoteOptions
+clientOptions(uint16_t port)
+{
+    RemoteOptions opts;
+    opts.workers.push_back(HostPort{"127.0.0.1", port});
+    opts.connectTimeoutMs = 2000;
+    opts.heartbeatTimeoutMs = 5000;
+    opts.reconnectBackoffMs = 10;
+    opts.reconnectBackoffCapMs = 50;
+    return opts;
+}
+
+TEST(RemotePool, RemoteSweepIsByteIdenticalToSingleProcess)
+{
+    const auto jobs = smallJobs();
+    const auto ref = referenceLines(jobs);
+
+    TestDaemon daemon;
+    daemon.start(jobs, /*connections=*/1);
+    RemoteOptions opts = clientOptions(daemon.port());
+    std::vector<int> seen(jobs.size(), 0);
+    opts.onResult = [&seen](size_t i, const ShardRow &) { ++seen[i]; };
+    RemotePool pool(opts);
+    auto rows = pool.run(jobs);
+    daemon.stop();
+
+    ASSERT_EQ(rows.size(), jobs.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(rows[i].ok) << i << ": " << rows[i].error;
+        EXPECT_TRUE(rows[i].golden) << i;
+        EXPECT_EQ(rows[i].jsonLine, ref[i]) << i;
+        EXPECT_EQ(std::string(pool.resultTable().renderRow(i)), ref[i])
+            << i;
+        EXPECT_EQ(seen[i], 1) << i;  // exactly-once reporting
+    }
+    EXPECT_FALSE(pool.degradedToLocal());
+    EXPECT_EQ(pool.stats().linkLosses, 0u);
+    EXPECT_EQ(pool.stats().fallbackJobs, 0u);
+    EXPECT_GE(pool.stats().functionalExecutions, 1u);
+}
+
+TEST(RemotePool, DroppedConnectionReconnectsAndReassigns)
+{
+    const auto jobs = smallJobs();
+    const auto ref = referenceLines(jobs);
+
+    // The daemon cuts the socket after 3 frames sent (HelloAck plus a
+    // couple of results/heartbeats), once; the client must reconnect
+    // and re-dispatch whatever was in flight — exactly once each.
+    TestDaemon daemon;
+    daemon.start(jobs, /*connections=*/2, "drop:3");
+    RemoteOptions opts = clientOptions(daemon.port());
+    std::vector<int> seen(jobs.size(), 0);
+    opts.onResult = [&seen](size_t i, const ShardRow &) { ++seen[i]; };
+    RemotePool pool(opts);
+    auto rows = pool.run(jobs);
+    daemon.stop();
+
+    ASSERT_EQ(rows.size(), jobs.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(rows[i].ok) << i << ": " << rows[i].error;
+        EXPECT_EQ(rows[i].jsonLine, ref[i]) << i;
+        EXPECT_EQ(seen[i], 1) << i;
+    }
+    EXPECT_GE(pool.stats().linkLosses, 1u);
+    EXPECT_GE(pool.stats().reconnects, 1u);
+    EXPECT_FALSE(pool.degradedToLocal());
+}
+
+TEST(RemotePool, CorruptFrameIsSkippedAndRecovered)
+{
+    const auto jobs = smallJobs();
+    const auto ref = referenceLines(jobs);
+
+    // The 2nd frame the daemon sends has a deliberately bad checksum.
+    // If it carried a heartbeat the client just skips it; if it
+    // carried a result, the busy-count heartbeats expose the loss and
+    // the job is reassigned. Either way: every job ok, byte-identical,
+    // and the corruption counted.
+    TestDaemon daemon;
+    daemon.start(jobs, /*connections=*/2, "corruptframe:2");
+    RemoteOptions opts = clientOptions(daemon.port());
+    std::vector<int> seen(jobs.size(), 0);
+    opts.onResult = [&seen](size_t i, const ShardRow &) { ++seen[i]; };
+    RemotePool pool(opts);
+    auto rows = pool.run(jobs);
+    daemon.stop();
+
+    ASSERT_EQ(rows.size(), jobs.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(rows[i].ok) << i << ": " << rows[i].error;
+        EXPECT_EQ(rows[i].jsonLine, ref[i]) << i;
+        EXPECT_EQ(seen[i], 1) << i;
+    }
+    EXPECT_GE(pool.stats().corruptFrames, 1u);
+    EXPECT_FALSE(pool.degradedToLocal());
+}
+
+TEST(RemotePool, VersionSkewQuarantinesAndDegradesToLocal)
+{
+    const auto jobs = smallJobs();
+    const auto ref = referenceLines(jobs);
+
+    // A daemon speaking a different protocol version refuses every
+    // handshake; the client burns its failure budget, quarantines the
+    // worker, and finishes the sweep locally.
+    TestDaemon daemon;
+    daemon.start(jobs, /*connections=*/3, nullptr, 2,
+                 kRemoteProtocolVersion + 1);
+    RemoteOptions opts = clientOptions(daemon.port());
+    opts.failureBudget = 2;
+    std::vector<int> seen(jobs.size(), 0);
+    opts.onResult = [&seen](size_t i, const ShardRow &) { ++seen[i]; };
+    RemotePool pool(opts);
+    auto rows = pool.run(jobs);
+    daemon.stop();
+
+    ASSERT_EQ(rows.size(), jobs.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(rows[i].ok) << i << ": " << rows[i].error;
+        EXPECT_EQ(rows[i].jsonLine, ref[i]) << i;
+        EXPECT_EQ(seen[i], 1) << i;
+    }
+    EXPECT_TRUE(pool.degradedToLocal());
+    EXPECT_EQ(pool.stats().fallbackJobs, jobs.size());
+    EXPECT_GE(pool.stats().linkLosses, 2u);
+    EXPECT_EQ(pool.stats().reconnects, 0u);
+}
+
+TEST(RemotePool, UnreachableFleetDegradesToLocal)
+{
+    const auto jobs = smallJobs();
+    const auto ref = referenceLines(jobs);
+
+    // Reserve a port and close it so nothing listens there.
+    std::string err;
+    uint16_t deadPort = 0;
+    const int lfd = listenTcp("127.0.0.1", 0, &deadPort, &err);
+    ASSERT_GE(lfd, 0) << err;
+    closeFd(lfd);
+
+    RemoteOptions opts = clientOptions(deadPort);
+    opts.connectTimeoutMs = 300;
+    opts.failureBudget = 1;
+    RemotePool pool(opts);
+    auto rows = pool.run(jobs);
+
+    ASSERT_EQ(rows.size(), jobs.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(rows[i].ok) << i << ": " << rows[i].error;
+        EXPECT_EQ(rows[i].jsonLine, ref[i]) << i;
+    }
+    EXPECT_TRUE(pool.degradedToLocal());
+    EXPECT_EQ(pool.stats().fallbackJobs, jobs.size());
+}
+
+TEST(RemotePool, JournaledResultsRestoreWithoutTouchingTheNetwork)
+{
+    const auto jobs = smallJobs();
+    const auto ref = referenceLines(jobs);
+    const std::string hash = ExperimentEngine::sweepHash(jobs);
+    const std::string path =
+        "remote_pool_journal_" + std::to_string(::getpid()) + ".jsonl";
+
+    {
+        TestDaemon daemon;
+        daemon.start(jobs, /*connections=*/1);
+        ResultJournal journal;
+        std::string err;
+        ASSERT_TRUE(journal.create(path, hash, &err)) << err;
+        RemoteOptions opts = clientOptions(daemon.port());
+        opts.journal = &journal;
+        RemotePool pool(opts);
+        auto rows = pool.run(jobs);
+        daemon.stop();
+        journal.close();
+        for (const auto &r : rows)
+            ASSERT_TRUE(r.ok) << r.error;
+    }
+
+    // Second run: every job restores from the journal; the workers
+    // list points at a dead endpoint and must never be dialled.
+    ResultJournal journal;
+    std::string err;
+    ASSERT_TRUE(journal.openForResume(path, hash, &err)) << err;
+    ASSERT_EQ(journal.entries().size(), jobs.size());
+    RemoteOptions opts = clientOptions(1);  // port 1: nothing there
+    opts.connectTimeoutMs = 100;
+    opts.journal = &journal;
+    RemotePool pool(opts);
+    auto rows = pool.run(jobs);
+    journal.close();
+    ::unlink(path.c_str());
+
+    ASSERT_EQ(rows.size(), jobs.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(rows[i].restored) << i;
+        EXPECT_TRUE(rows[i].ok) << i;
+        EXPECT_EQ(rows[i].jsonLine, ref[i]) << i;
+        EXPECT_EQ(std::string(pool.resultTable().renderRow(i)), ref[i])
+            << i;
+    }
+    EXPECT_EQ(pool.stats().linkLosses, 0u);
+    EXPECT_FALSE(pool.degradedToLocal());
+}
+
+} // namespace
+} // namespace vgiw

@@ -281,17 +281,52 @@ TEST(ShardSupervisor, JournaledShardSweepRestoresOnResume)
 TEST(ShardSupervisor, CounterNamesAreAStableSurface)
 {
     // The *names* are the pinned contract (values are
-    // timing-dependent): ops dashboards key on them.
+    // timing-dependent): ops dashboards key on them. Sorted key order.
     SupervisorStats st;
     st.restarts = 1;
     st.crashes = 2;
     st.steals = 3;
     st.heartbeatMisses = 4;
+    st.corruptFrames = 5;
+    st.reconnects = 6;
+    st.linkLosses = 7;
+    st.fallbackJobs = 8;
     EXPECT_EQ(st.countersJson(),
-              "{\"supervisor.crashes\":2,"
+              "{\"supervisor.corrupt_frames\":5,"
+              "\"supervisor.crashes\":2,"
+              "\"supervisor.fallback_jobs\":8,"
               "\"supervisor.heartbeat_misses\":4,"
+              "\"supervisor.link_losses\":7,"
+              "\"supervisor.reconnects\":6,"
               "\"supervisor.restarts\":1,"
               "\"supervisor.steals\":3}");
+}
+
+TEST(ShardSupervisor, CorruptFrameMidStreamSkipsOneRecordOnly)
+{
+    // A worker injects exactly one checksum-corrupt frame before job 1
+    // (VGIW_TEST_FAULT=badframe grammar, armed here via the preJob
+    // hook's process-global env). The coordinator must skip that one
+    // record, count it, and parse every subsequent frame — all jobs
+    // succeed, nothing is re-dispatched, no worker is killed.
+    const auto jobs = smallJobs();
+    const auto ref = referenceLines(jobs);
+
+    ::setenv("VGIW_TEST_FAULT", "badframe:1", 1);
+    ShardOptions sopts;
+    sopts.shards = 2;
+    ShardSupervisor sup(sopts);
+    auto rows = sup.run(jobs);
+    ::unsetenv("VGIW_TEST_FAULT");
+
+    ASSERT_EQ(rows.size(), jobs.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(rows[i].ok) << i << ": " << rows[i].error;
+        EXPECT_EQ(rows[i].jsonLine, ref[i]) << i;
+    }
+    EXPECT_EQ(sup.stats().corruptFrames, 1u);
+    EXPECT_EQ(sup.stats().crashes, 0u);
+    EXPECT_EQ(sup.stats().restarts, 0u);
 }
 
 } // namespace

@@ -1,0 +1,62 @@
+# Graceful-degradation acceptance check for remote sweeps:
+#
+#   cmake -DBIN=<vgiw_run> -DWORKDIR=<scratch dir>
+#         -P remote_fallback_check.cmake
+#
+# Point --workers at an endpoint nothing listens on, with the remote
+# budgets shrunk via the VGIW_REMOTE_* env overrides so the fleet
+# quarantines immediately. The sweep must still complete — every job
+# finished by the local fallback engine — with the documented
+# degraded-completion exit code (5) and --json output byte-identical
+# to a plain single-process run.
+
+if (NOT DEFINED BIN OR NOT DEFINED WORKDIR)
+    message(FATAL_ERROR "BIN and WORKDIR must be defined")
+endif ()
+
+set(sweep --suite --arch vgiw)
+set(ref "${WORKDIR}/reference.json")
+set(fallback "${WORKDIR}/fallback.json")
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(COMMAND ${BIN} ${sweep} --json "${ref}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference run failed (rc=${rc}):\n${err}")
+endif ()
+
+# Port 1 on loopback is never listening; each connect attempt is an
+# instant refusal, and a failure budget of 1 quarantines on the first.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env
+                        VGIW_REMOTE_CONNECT_TIMEOUT_MS=300
+                        VGIW_REMOTE_FAILURE_BUDGET=1
+                        VGIW_REMOTE_BACKOFF_MS=10
+                        ${BIN} ${sweep} --workers 127.0.0.1:1
+                        --json "${fallback}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if (NOT rc EQUAL 5)
+    message(FATAL_ERROR
+            "degraded sweep must exit 5 (completed via local fallback), "
+            "got rc=${rc}:\n${out}\n${err}")
+endif ()
+if (NOT err MATCHES "quarantined")
+    message(FATAL_ERROR
+            "stderr does not report the quarantined remote:\n${err}")
+endif ()
+if (NOT err MATCHES "finishing .* jobs locally")
+    message(FATAL_ERROR
+            "stderr does not report the local fallback:\n${err}")
+endif ()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${ref}" "${fallback}"
+                RESULT_VARIABLE rc)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "fallback JSON differs from the single-process reference "
+            "(${ref} vs ${fallback})")
+endif ()

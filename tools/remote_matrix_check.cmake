@@ -1,0 +1,127 @@
+# Remote-sweep fault-matrix acceptance check:
+#
+#   cmake -DBIN=<vgiw_run> -DSWEEPD=<vgiw_sweepd> -DWORKDIR=<scratch>
+#         -P remote_matrix_check.cmake
+#
+# Start two vgiw_sweepd daemons on loopback ephemeral ports. Daemon A
+# carries a network fault (VGIW_TEST_FAULT=drop:6 — it hangs up on the
+# client after six frames, once, so the client must reconnect and
+# reassign the in-flight jobs). Daemon B is healthy but gets SIGKILLed
+# half a second into the sweep, taking its worker fleet with it
+# (PR_SET_PDEATHSIG), so everything it held in flight must be
+# reassigned to A. The sweep must still finish with exit 0 and --json
+# output byte-identical to a single-process run; no worker process may
+# outlive the sweep; and daemon A must exit 0 on SIGTERM afterwards.
+#
+# If the machine is fast enough that the sweep finishes before the
+# SIGKILL lands, that is fine — the drop fault on A still exercised
+# reconnection, and the identity comparison still holds.
+
+if (NOT DEFINED BIN OR NOT DEFINED SWEEPD OR NOT DEFINED WORKDIR)
+    message(FATAL_ERROR "BIN, SWEEPD and WORKDIR must be defined")
+endif ()
+
+find_program(BASH bash REQUIRED)
+
+set(sweep --suite --arch vgiw)
+set(ref "${WORKDIR}/reference.json")
+set(remote "${WORKDIR}/remote.json")
+set(pids "${WORKDIR}/pids")
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+file(MAKE_DIRECTORY "${pids}")
+
+execute_process(COMMAND ${BIN} ${sweep} --json "${ref}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "reference run failed (rc=${rc}):\n${err}")
+endif ()
+
+# The whole drill lives in one bash script: daemon lifetimes span
+# several execute_process steps otherwise, and a FATAL_ERROR between
+# them would leak daemons.
+execute_process(
+    COMMAND ${BASH} -c
+"set -u
+cd '${WORKDIR}'
+export VGIW_SHARD_PIDFILE_DIR='${pids}'
+
+VGIW_TEST_FAULT=drop:6 '${SWEEPD}' --listen 127.0.0.1:0 --shards 2 \
+    --port-file portA 2> sweepd_a.log &
+pid_a=$!
+'${SWEEPD}' --listen 127.0.0.1:0 --shards 2 \
+    --port-file portB 2> sweepd_b.log &
+pid_b=$!
+
+for _ in $(seq 100); do
+    [ -s portA ] && [ -s portB ] && break
+    sleep 0.1
+done
+if ! [ -s portA ] || ! [ -s portB ]; then
+    echo 'daemons never wrote their port files' >&2
+    kill -KILL $pid_a $pid_b 2> /dev/null
+    exit 99
+fi
+pa=$(cat portA); pb=$(cat portB)
+
+VGIW_REMOTE_BACKOFF_MS=50 \
+    '${BIN}' --suite --arch vgiw --workers 127.0.0.1:$pa,127.0.0.1:$pb \
+    --json '${remote}' > run.out 2> run.log &
+run_pid=$!
+sleep 0.5
+kill -KILL $pid_b 2> /dev/null
+wait $run_pid
+run_rc=$?
+
+kill -TERM $pid_a 2> /dev/null
+wait $pid_a
+a_rc=$?
+wait $pid_b 2> /dev/null
+
+if [ $run_rc -ne 0 ]; then
+    echo \"sweep exited $run_rc, want 0\" >&2
+    sed 's/^/  run: /' run.log >&2
+    exit $run_rc
+fi
+# A's drop fault fires within the first few frames, so even a sweep
+# fast enough to beat the SIGKILL must have survived a lost link.
+if ! grep -q 'link lost' run.log; then
+    echo 'sweep never reported a lost link; fault did not fire' >&2
+    sed 's/^/  run: /' run.log >&2
+    exit 97
+fi
+if [ $a_rc -ne 0 ]; then
+    echo \"daemon A exited $a_rc on SIGTERM, want 0\" >&2
+    sed 's/^/  sweepd A: /' sweepd_a.log >&2
+    exit 98
+fi
+exit 0"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "remote matrix drill failed (rc=${rc}):\n${out}\n${err}")
+endif ()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${ref}" "${remote}"
+                RESULT_VARIABLE rc)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "remote JSON differs from the single-process reference "
+            "(${ref} vs ${remote})")
+endif ()
+
+# Worker-orphan sweep: every breadcrumb a worker left while alive must
+# now point at a dead pid.
+file(GLOB leftover "${pids}/worker-*.alive")
+foreach (f ${leftover})
+    file(READ "${f}" pid)
+    string(STRIP "${pid}" pid)
+    if (EXISTS "/proc/${pid}")
+        message(FATAL_ERROR
+                "worker pid ${pid} outlived the remote sweep (${f})")
+    endif ()
+endforeach ()

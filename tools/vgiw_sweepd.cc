@@ -1,0 +1,197 @@
+/**
+ * @file
+ * vgiw_sweepd — the remote sweep daemon (DESIGN.md §16).
+ *
+ *   vgiw_sweepd --listen <host:port> [--shards N]
+ *               [--artifact-dir <dir>] [--port-file <file>] [--once]
+ *
+ * Accepts vgiw_run --workers connections over the shard frame
+ * protocol: validates the Hello handshake (protocol version,
+ * architecture list, recomputed sweep hash), forks a local fleet of
+ * shard workers per connection, relays Job frames in and
+ * worker-rendered Result frames out verbatim, and reports local worker
+ * deaths as JobCrash frames — all retry and quarantine accounting
+ * stays with the client coordinator. Client disconnect tears the fleet
+ * down; SIGINT/SIGTERM drain and exit cleanly.
+ *
+ * --listen accepts an empty host (":7001") to bind all interfaces and
+ * port 0 for an ephemeral port; --port-file writes the bound port (one
+ * decimal line) so tests and scripts can find an ephemeral daemon.
+ *
+ * Exit codes: 0 clean shutdown (signal-drained or --once complete);
+ * 2 usage or configuration error (nothing served); 3 the listen
+ * socket could not be bound.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/net.hh"
+#include "common/signal_drain.hh"
+#include "common/subprocess.hh"
+#include "driver/artifact_store.hh"
+#include "driver/remote_pool.hh"
+
+using namespace vgiw;
+
+namespace
+{
+
+/** Same single-source-of-truth pattern as vgiw_run: usage() renders
+ * this table, docs/vgiw_sweepd_help.txt pins the rendering, and the CI
+ * help-drift check diffs the two. */
+struct FlagSpec
+{
+    const char *name;
+    const char *arg;
+    const char *help;
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--listen", "<host:port>",
+     "bind address; empty host (\":7001\") means all interfaces, "
+     "port 0 an ephemeral port"},
+    {"--shards", "<n>",
+     "forked worker processes per served sweep (default 2)"},
+    {"--artifact-dir", "<dir>",
+     "daemon-local persistent artifact store shared by its workers"},
+    {"--port-file", "<file>",
+     "write the bound port (one decimal line) after binding"},
+    {"--once", nullptr, "serve one connection, then exit"},
+    {"--help", nullptr, "print this help and exit"},
+};
+
+void
+usage()
+{
+    std::printf("usage: vgiw_sweepd --listen <host:port> [options]\n"
+                "\n"
+                "options:\n");
+    for (const FlagSpec &f : kFlags) {
+        std::string left = f.name;
+        if (f.arg) {
+            left += ' ';
+            left += f.arg;
+        }
+        std::printf("  %-30s %s\n", left.c_str(), f.help);
+    }
+    std::printf(
+        "\n"
+        "exit codes:\n"
+        "  0  clean shutdown (SIGINT/SIGTERM drain, or --once served)\n"
+        "  2  usage or configuration error (nothing served)\n"
+        "  3  the listen socket could not be bound\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string listenSpec;
+    std::string artifactDir;
+    std::string portFile;
+    unsigned shards = 2;
+    bool once = false;
+
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "vgiw_sweepd: %s needs a value\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--listen") {
+            listenSpec = next(i);
+        } else if (a == "--shards") {
+            char *end = nullptr;
+            const long n = std::strtol(next(i), &end, 10);
+            if (!end || *end != '\0' || n < 1 || n > 256) {
+                std::fprintf(stderr,
+                             "vgiw_sweepd: --shards wants an integer "
+                             "in [1, 256]\n");
+                return 2;
+            }
+            shards = unsigned(n);
+        } else if (a == "--artifact-dir") {
+            artifactDir = next(i);
+        } else if (a == "--port-file") {
+            portFile = next(i);
+        } else if (a == "--once") {
+            once = true;
+        } else if (a == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "vgiw_sweepd: unknown flag %s\n",
+                         a.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (listenSpec.empty()) {
+        std::fprintf(stderr, "vgiw_sweepd: --listen is required\n");
+        usage();
+        return 2;
+    }
+    HostPort hp;
+    std::string err;
+    if (!parseHostPort(listenSpec, &hp, &err, /*allowEmptyHost=*/true)) {
+        std::fprintf(stderr, "vgiw_sweepd: --listen %s: %s\n",
+                     listenSpec.c_str(), err.c_str());
+        return 2;
+    }
+
+    ArtifactStore store;
+    SweepServiceOptions opts;
+    opts.shards = shards;
+    if (!artifactDir.empty()) {
+        if (!store.open(artifactDir, &err)) {
+            std::fprintf(stderr, "vgiw_sweepd: --artifact-dir %s: %s\n",
+                         artifactDir.c_str(), err.c_str());
+            return 2;
+        }
+        opts.artifactStore = &store;
+    }
+
+    uint16_t boundPort = 0;
+    const int lfd = listenTcp(hp.host, hp.port, &boundPort, &err);
+    if (lfd < 0) {
+        std::fprintf(stderr, "vgiw_sweepd: cannot listen on %s: %s\n",
+                     listenSpec.c_str(), err.c_str());
+        return 3;
+    }
+    if (!portFile.empty()) {
+        std::FILE *f = std::fopen(portFile.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "vgiw_sweepd: --port-file %s: %s\n",
+                         portFile.c_str(), std::strerror(errno));
+            closeFd(lfd);
+            return 2;
+        }
+        std::fprintf(f, "%u\n", unsigned(boundPort));
+        std::fclose(f);
+    }
+    std::fprintf(stderr, "vgiw_sweepd: listening on %s:%u (%u shards)\n",
+                 hp.host.empty() ? "*" : hp.host.c_str(),
+                 unsigned(boundPort), shards);
+
+    installDrainHandlers();
+    ignoreSigpipe();
+
+    SweepService service(opts);
+    const int rc = service.serve(lfd, once, &drainFlag());
+    closeFd(lfd);
+    if (drainRequested())
+        std::fprintf(stderr, "vgiw_sweepd: drained, shutting down\n");
+    return rc;
+}
