@@ -7,6 +7,12 @@
  * 16 live-value units (LVU), 16 split/join units (SJU) and 16 control
  * vector units (CVU). Load/store and live-value units sit on the grid
  * perimeter next to the banked L1 / LVC crossbars (Section 3.5).
+ *
+ * The grid doubles as the shared placement substrate for every
+ * CGRA-flavoured core model: VGIW and SGMF execute on it directly,
+ * and DICE routes on the same template before folding the placement
+ * onto its smaller statically scheduled array (UnitCounts also names
+ * that array's per-kind sizes, DiceConfig::arrayCounts).
  */
 
 #ifndef VGIW_CGRF_GRID_HH

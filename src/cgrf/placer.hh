@@ -4,6 +4,19 @@
  * basic-block replication (Section 3.1: "for small basic blocks, the
  * compiler includes multiple replicas of a block's graph in the generated
  * configuration" to maximise utilisation and thread-level parallelism).
+ *
+ * This layer is shared by three of the four core models, which keeps
+ * their critical paths and hop counts directly comparable:
+ *
+ *  - VGIW places one block DFG per configuration, replicated to fill
+ *    the grid (replication > 1);
+ *  - SGMF places the *whole kernel* CDFG at once (replication forced
+ *    to 1; does not fit => the kernel is unsupported);
+ *  - DICE places one block DFG per configuration, unreplicated, then
+ *    folds it onto a smaller array via a modulo schedule — the placed
+ *    criticalPathCycles seeds the schedule makespan and the DFG's unit
+ *    needs feed the reservation-table initiation interval
+ *    (src/dice/dice_core.cc).
  */
 
 #ifndef VGIW_CGRF_PLACER_HH

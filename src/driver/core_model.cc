@@ -9,7 +9,7 @@ const std::vector<std::string> &
 knownArchitectures()
 {
     static const std::vector<std::string> archs = {"vgiw", "fermi",
-                                                   "sgmf"};
+                                                   "sgmf", "dice"};
     return archs;
 }
 
@@ -31,6 +31,8 @@ makeCoreModel(std::string_view arch, const SystemConfig &cfg)
         return std::make_unique<FermiCore>(cfg.fermi);
     if (arch == "sgmf")
         return std::make_unique<SgmfCore>(cfg.sgmf);
+    if (arch == "dice")
+        return std::make_unique<DiceCore>(cfg.dice);
     return nullptr;
 }
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * The common interface of the three timing/energy models. Every core
+ * The common interface of the four timing/energy models (VGIW, Fermi,
+ * SGMF, DICE — docs/architectures.md maps them). Every core
  * replays the same functional traces (bit-identical work, Section 5), so
  * one abstract surface is all the driver needs to dispatch a sweep over
  * an arbitrary set of architectures instead of hand-written
@@ -48,7 +49,8 @@ struct SystemConfig;
  * Opaque, immutable result of a core model's compile phase. Each
  * architecture derives its own artifact type (placed per-block DFGs for
  * VGIW, the whole-kernel spatial mapping for SGMF, decoded instructions
- * and post-dominators for Fermi); run() downcasts and asserts.
+ * and post-dominators for Fermi, per-block placements plus the static
+ * modulo schedule for DICE); run() downcasts and asserts.
  */
 struct CompiledKernel
 {

@@ -194,6 +194,8 @@ ExperimentEngine::runJobWithRetry(const ExperimentJob &job, size_t index)
                 rp.escalate(job.config.fermi.watchdog, attempt);
             j.config.sgmf.watchdog =
                 rp.escalate(job.config.sgmf.watchdog, attempt);
+            j.config.dice.watchdog =
+                rp.escalate(job.config.dice.watchdog, attempt);
         }
         JobResult out;
         {
@@ -501,6 +503,8 @@ ExperimentEngine::compareSuite(const SystemConfig &cfg)
                 c.fermi = r.stats;
             else if (arch == "sgmf")
                 c.sgmf = r.stats;
+            else if (arch == "dice")
+                c.dice = r.stats;
         }
         out.push_back(std::move(c));
     }

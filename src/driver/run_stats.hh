@@ -22,7 +22,7 @@ namespace vgiw
 /** Result of running one kernel launch on one core model. */
 struct RunStats
 {
-    std::string arch;        ///< "vgiw", "fermi" or "sgmf"
+    std::string arch;        ///< "vgiw", "fermi", "sgmf" or "dice"
     std::string kernelName;
     /** SGMF cannot map kernels larger than its fabric. */
     bool supported = true;

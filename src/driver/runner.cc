@@ -42,6 +42,7 @@ Runner::compare(const WorkloadInstance &w) const
     out.vgiw = VgiwCore(cfg_.vgiw).run(traces);
     out.fermi = FermiCore(cfg_.fermi).run(traces);
     out.sgmf = SgmfCore(cfg_.sgmf).run(traces);
+    out.dice = DiceCore(cfg_.dice).run(traces);
     return out;
 }
 

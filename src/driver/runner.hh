@@ -47,7 +47,7 @@ struct TraceResult
     bool ok() const { return goldenPassed && traces != nullptr; }
 };
 
-/** Results of one workload on all three architectures. */
+/** Results of one workload on every registered architecture. */
 struct ArchComparison
 {
     std::string workload;
@@ -57,6 +57,7 @@ struct ArchComparison
     RunStats vgiw;
     RunStats fermi;
     RunStats sgmf;  ///< supported == false when SGMF cannot map it
+    RunStats dice;  ///< statically scheduled CGRA (always supported)
 
     double
     speedupVsFermi() const
@@ -105,7 +106,7 @@ struct ArchComparison
     }
 };
 
-/** Runs workloads across the three core models. */
+/** Runs workloads across the registered core models. */
 class Runner
 {
   public:
@@ -117,7 +118,7 @@ class Runner
      */
     TraceResult trace(const WorkloadInstance &w) const;
 
-    /** Full three-architecture comparison for @p w. */
+    /** Full all-architecture comparison for @p w. */
     ArchComparison compare(const WorkloadInstance &w) const;
 
     const SystemConfig &config() const { return cfg_; }

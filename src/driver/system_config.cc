@@ -22,7 +22,8 @@ SystemConfig::validate(std::string_view arch) const
         dramGhz <= 0) {
         return "clock domain frequencies must be positive";
     }
-    const bool all = arch != "vgiw" && arch != "fermi" && arch != "sgmf";
+    const bool all = arch != "vgiw" && arch != "fermi" &&
+                     arch != "sgmf" && arch != "dice";
     if (all || arch == "vgiw") {
         if (std::string d = vgiw.validate(); !d.empty())
             return d;
@@ -33,6 +34,10 @@ SystemConfig::validate(std::string_view arch) const
     }
     if (all || arch == "sgmf") {
         if (std::string d = sgmf.validate(); !d.empty())
+            return d;
+    }
+    if (all || arch == "dice") {
+        if (std::string d = dice.validate(); !d.empty())
             return d;
     }
     return {};
@@ -59,6 +64,7 @@ SystemConfig::setWatchdog(const WatchdogConfig &wd)
     vgiw.watchdog = wd;
     fermi.watchdog = wd;
     sgmf.watchdog = wd;
+    dice.watchdog = wd;
 }
 
 void
@@ -67,6 +73,7 @@ SystemConfig::anchorWatchdogs(std::chrono::steady_clock::time_point t)
     vgiw.watchdog.anchor = t;
     fermi.watchdog.anchor = t;
     sgmf.watchdog.anchor = t;
+    dice.watchdog.anchor = t;
 }
 
 void

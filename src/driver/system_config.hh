@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "common/watchdog.hh"
+#include "dice/dice_core.hh"
 #include "sgmf/sgmf_core.hh"
 #include "simt/fermi_core.hh"
 #include "vgiw/vgiw_core.hh"
@@ -32,6 +33,7 @@ struct SystemConfig
     VgiwConfig vgiw{};
     FermiConfig fermi{};
     SgmfConfig sgmf{};
+    DiceConfig dice{};
 
     /**
      * Well-formedness check of the clock domains plus every core
@@ -59,7 +61,7 @@ struct SystemConfig
      */
     std::string jobFingerprint(std::string_view arch) const;
 
-    /** Apply the same replay ceilings to all three core models. */
+    /** Apply the same replay ceilings to every core model. */
     void setWatchdog(const WatchdogConfig &wd);
 
     /**

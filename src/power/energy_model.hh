@@ -49,6 +49,9 @@ struct EnergyTable
     double frontendWarpInstr = 600.0;  ///< fetch+decode+schedule per warp
     double sharedAccessWord = 8.0;
 
+    // Statically scheduled CGRA (DICE).
+    double operandBufferWord = 2.5;  ///< schedule-managed live-value word
+
     // Memory system (identical on both sides of every comparison).
     double l1AccessWord = 15.0;   ///< one bank access, word granularity
     double l1AccessLine = 80.0;   ///< one 128 B transaction (coalesced)
@@ -61,11 +64,11 @@ enum class EnergyComponent : uint8_t
 {
     Datapath,      ///< ALU/FPU/SCU/LDST-issue circuits
     Frontend,      ///< fetch/decode/schedule (von Neumann only)
-    RegisterFile,  ///< vector RF (von Neumann only)
+    RegisterFile,  ///< vector RF (Fermi) / operand buffers (DICE)
     TokenFabric,   ///< token buffers + interconnect hops (dataflow only)
     Lvc,           ///< live value cache (VGIW only)
     Cvt,           ///< control vector table (VGIW only)
-    Config,        ///< grid reconfiguration (VGIW/SGMF)
+    Config,        ///< grid reconfiguration (VGIW/SGMF/DICE)
     Scratchpad,    ///< shared-memory scratchpad
     L1,
     L2,

@@ -26,9 +26,11 @@ TEST(ConfigValidation, DefaultConfigsAreValid)
     EXPECT_EQ(cfg.validate("vgiw"), "");
     EXPECT_EQ(cfg.validate("fermi"), "");
     EXPECT_EQ(cfg.validate("sgmf"), "");
+    EXPECT_EQ(cfg.validate("dice"), "");
     EXPECT_EQ(VgiwConfig{}.validate(), "");
     EXPECT_EQ(FermiConfig{}.validate(), "");
     EXPECT_EQ(SgmfConfig{}.validate(), "");
+    EXPECT_EQ(DiceConfig{}.validate(), "");
 }
 
 TEST(ConfigValidation, GridStructuralChecks)
@@ -102,6 +104,27 @@ TEST(ConfigValidation, SgmfKnobs)
     EXPECT_NE(c.validate().find("maxReplicas"), std::string::npos);
 }
 
+TEST(ConfigValidation, DiceKnobs)
+{
+    DiceConfig c;
+    c.laneWidth = 0;
+    EXPECT_NE(c.validate().find("laneWidth"), std::string::npos);
+
+    c = DiceConfig{};
+    c.missWindow = 0;
+    EXPECT_NE(c.validate().find("missWindow"), std::string::npos);
+
+    c = DiceConfig{};
+    c.switchCycles = -1;
+    EXPECT_NE(c.validate().find("switchCycles"), std::string::npos);
+
+    // A zero-unit array column would make the reservation table divide
+    // by zero; validate() must reject it with the offending kind named.
+    c = DiceConfig{};
+    c.arrayCounts[0] = 0;
+    EXPECT_NE(c.validate().find("arrayCounts"), std::string::npos);
+}
+
 TEST(ConfigValidation, ArchScopedValidationIgnoresOtherCores)
 {
     // A sweep varying VGIW knobs must not fail its Fermi baseline jobs
@@ -112,6 +135,17 @@ TEST(ConfigValidation, ArchScopedValidationIgnoresOtherCores)
     EXPECT_NE(cfg.validate("vgiw"), "");
     EXPECT_EQ(cfg.validate("fermi"), "");
     EXPECT_EQ(cfg.validate("sgmf"), "");
+    EXPECT_EQ(cfg.validate("dice"), "");
+
+    // And the converse: a broken DICE array must not leak into the
+    // other cores' scoped checks.
+    SystemConfig dcfg;
+    dcfg.dice.laneWidth = 0;
+    EXPECT_NE(dcfg.validate(), "");
+    EXPECT_NE(dcfg.validate("dice"), "");
+    EXPECT_EQ(dcfg.validate("vgiw"), "");
+    EXPECT_EQ(dcfg.validate("fermi"), "");
+    EXPECT_EQ(dcfg.validate("sgmf"), "");
 }
 
 TEST(ConfigValidation, EngineFailsFastWithConfigKind)

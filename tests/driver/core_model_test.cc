@@ -1,6 +1,6 @@
 /**
  * @file
- * CoreModel interface tests: the three architectures are reachable
+ * CoreModel interface tests: the four architectures are reachable
  * through one polymorphic surface, the factory validates names, and a
  * virtual-dispatch replay matches a direct one.
  */
@@ -21,7 +21,7 @@ TEST(CoreModel, FactoryCoversAllArchitecturesAndRejectsUnknown)
 {
     SystemConfig cfg;
     EXPECT_EQ(knownArchitectures(),
-              (std::vector<std::string>{"vgiw", "fermi", "sgmf"}));
+              (std::vector<std::string>{"vgiw", "fermi", "sgmf", "dice"}));
     for (const auto &arch : knownArchitectures()) {
         EXPECT_TRUE(isKnownArchitecture(arch));
         auto m = makeCoreModel(arch, cfg);
@@ -31,7 +31,7 @@ TEST(CoreModel, FactoryCoversAllArchitecturesAndRejectsUnknown)
     EXPECT_FALSE(isKnownArchitecture("bogus"));
     EXPECT_FALSE(isKnownArchitecture("all"));
     EXPECT_EQ(makeCoreModel("bogus", cfg), nullptr);
-    EXPECT_EQ(makeCoreModels(cfg, "all").size(), 3u);
+    EXPECT_EQ(makeCoreModels(cfg, "all").size(), 4u);
     EXPECT_EQ(makeCoreModels(cfg, "fermi").size(), 1u);
     EXPECT_TRUE(makeCoreModels(cfg, "bogus").empty());
 }

@@ -83,7 +83,7 @@ TEST(ExperimentEngine, ParallelRunIsBitIdenticalToSerial)
     // architectures, in the same (submission) order.
     SystemConfig cfg;
     auto jobs = ExperimentEngine::suiteJobs(cfg);
-    ASSERT_EQ(jobs.size(), workloadRegistry().size() * 3);
+    ASSERT_EQ(jobs.size(), workloadRegistry().size() * 4);
 
     ExperimentEngine serial{EngineOptions{1}};
     ExperimentEngine parallel{EngineOptions{4}};
@@ -187,6 +187,7 @@ TEST(ExperimentEngine, CompareSuiteMatchesSerialRunner)
         expectBitIdentical(suite[i].fermi, direct.fermi,
                            suite[i].workload);
         expectBitIdentical(suite[i].sgmf, direct.sgmf, suite[i].workload);
+        expectBitIdentical(suite[i].dice, direct.dice, suite[i].workload);
     }
 }
 
@@ -201,8 +202,8 @@ TEST(ExperimentEngine, JournaledParallelSweepRendersRowsRaceFree)
     std::vector<ExperimentJob> jobs;
     for (const char *w : {"NN/euclid", "BFS/Kernel", "GE/Fan1",
                           "KMEANS/invert_mapping"}) {
-        // All three archs so every row carries arch-specific extras.
-        for (const char *arch : {"vgiw", "fermi", "sgmf"}) {
+        // All four archs so every row carries arch-specific extras.
+        for (const char *arch : {"vgiw", "fermi", "sgmf", "dice"}) {
             ExperimentJob j;
             j.workload = w;
             j.arch = arch;

@@ -182,7 +182,7 @@ TEST(FaultInjection, PanicInReplayIsInternalAndIsolated)
 
 TEST(FaultInjection, CycleCeilingTripsWatchdogOnEveryArch)
 {
-    for (const std::string arch : {"vgiw", "fermi", "sgmf"}) {
+    for (const std::string arch : {"vgiw", "fermi", "sgmf", "dice"}) {
         ExperimentJob j = job("NN/euclid", arch);
         WatchdogConfig wd;
         wd.maxReplayCycles = 10;  // absurdly small: a healthy replay is

@@ -1,7 +1,7 @@
 /**
  * @file
  * Property tests over randomly generated structured kernels: for any
- * kernel the generator can produce, the three timing models must agree
+ * kernel the generator can produce, the four timing models must agree
  * on the dynamic work (they replay identical traces), the VGIW core must
  * execute every trace entry exactly once despite the coalescing
  * scheduler, and the SIMT stack replay must never diverge from the
@@ -56,6 +56,14 @@ TEST_P(RandomKernelTest, AllModelsReplayIdenticalWork)
     if (s.supported) {
         EXPECT_EQ(s.dynBlockExecs, traces.totalBlockExecs());
     }
+
+    // DICE folds any block onto its array, so unlike SGMF it must
+    // support (and agree on) every generated kernel.
+    RunStats d = DiceCore{}.run(traces);
+    EXPECT_TRUE(d.supported);
+    EXPECT_EQ(d.dynBlockExecs, traces.totalBlockExecs());
+    EXPECT_EQ(d.dynThreadOps, v.dynThreadOps);
+    EXPECT_GT(d.cycles, 0u);
 
     // Energy accounting is internally consistent.
     EXPECT_NEAR(v.energy.systemPj(),

@@ -43,6 +43,10 @@ TEST_P(SuiteTest, IdenticalWorkAcrossArchitectures)
     if (c.sgmf.supported) {
         EXPECT_EQ(c.sgmf.dynBlockExecs, c.vgiw.dynBlockExecs);
     }
+    // DICE predicates divergent lanes but must still execute (and
+    // count) exactly the work the trace prescribes.
+    EXPECT_EQ(c.dice.dynBlockExecs, c.vgiw.dynBlockExecs);
+    EXPECT_EQ(c.dice.dynThreadOps, c.vgiw.dynThreadOps);
     EXPECT_GT(c.vgiw.dynThreadOps, 0u);
 }
 
@@ -61,6 +65,14 @@ TEST_P(SuiteTest, EnergyAccountingIsConsistent)
     EXPECT_EQ(c.fermi.energy.get(EnergyComponent::Lvc), 0.0);
     EXPECT_EQ(c.fermi.energy.get(EnergyComponent::Cvt), 0.0);
     EXPECT_EQ(c.fermi.energy.get(EnergyComponent::Config), 0.0);
+    // DICE: static schedule, so no fetch/decode frontend; predication
+    // instead of CVT coalescing; operand buffers instead of an LVC.
+    EXPECT_GT(c.dice.energy.corePj(), 0.0);
+    EXPECT_GE(c.dice.energy.systemPj(), c.dice.energy.diePj());
+    EXPECT_EQ(c.dice.energy.get(EnergyComponent::Frontend), 0.0);
+    EXPECT_EQ(c.dice.energy.get(EnergyComponent::Lvc), 0.0);
+    EXPECT_EQ(c.dice.energy.get(EnergyComponent::Cvt), 0.0);
+    EXPECT_GT(c.dice.energy.get(EnergyComponent::Config), 0.0);
 }
 
 TEST_P(SuiteTest, VgiwStructuralInvariants)

@@ -1,11 +1,13 @@
 # Test driver: run a command and require an exact exit code.
 #
 #   cmake -DBIN=<exe> -DARGS="--flag value ..." -DEXPECTED=<n>
-#         -P check_exit_code.cmake
+#         [-DOUTPUT_REGEX=<re>] -P check_exit_code.cmake
 #
 # ctest's WILL_FAIL only distinguishes zero from nonzero; vgiw_run
 # documents a three-way contract (0 ok / 2 usage / 3 job failures), so
-# the tests pin the exact value.
+# the tests pin the exact value. OUTPUT_REGEX, when given, must match
+# the combined stdout+stderr — used to pin diagnostics (for example
+# that a bad --arch value lists every registered architecture).
 
 if (NOT DEFINED BIN OR NOT DEFINED EXPECTED)
     message(FATAL_ERROR "BIN and EXPECTED must be defined")
@@ -21,4 +23,12 @@ if (NOT rc EQUAL ${EXPECTED})
     message(FATAL_ERROR
             "${BIN} ${ARGS}\nexpected exit ${EXPECTED}, got '${rc}'\n"
             "stdout:\n${out}\nstderr:\n${err}")
+endif ()
+
+if (DEFINED OUTPUT_REGEX)
+    if (NOT "${out}${err}" MATCHES "${OUTPUT_REGEX}")
+        message(FATAL_ERROR
+                "${BIN} ${ARGS}\noutput does not match '${OUTPUT_REGEX}'\n"
+                "stdout:\n${out}\nstderr:\n${err}")
+    endif ()
 endif ()

@@ -31,3 +31,31 @@ if(NOT rc EQUAL 0)
             "forced-scalar suite JSON differs from the default backend: "
             "${DEFAULT_JSON} vs ${SCALAR_JSON}")
 endif()
+
+# Same check restricted to the statically scheduled CGRA model: the
+# dice replay walks its own bitmap paths (predicated lane groups), so
+# it gets an explicit leg rather than riding only on the "all" sweep.
+set(DICE_DEFAULT_JSON ${WORKDIR}/suite_dice_default.jsonl)
+set(DICE_SCALAR_JSON ${WORKDIR}/suite_dice_scalar.jsonl)
+
+execute_process(COMMAND ${BIN} --suite --arch dice --json ${DICE_DEFAULT_JSON}
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "default-backend dice suite run failed (exit ${rc})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env VGIW_FORCE_SCALAR_BITOPS=1
+                        ${BIN} --suite --arch dice --json ${DICE_SCALAR_JSON}
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "forced-scalar dice suite run failed (exit ${rc})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${DICE_DEFAULT_JSON} ${DICE_SCALAR_JSON}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "forced-scalar dice suite JSON differs from the default "
+            "backend: ${DICE_DEFAULT_JSON} vs ${DICE_SCALAR_JSON}")
+endif()

@@ -3,7 +3,7 @@
  * vgiw_run — command-line driver for the simulator.
  *
  *   vgiw_run --list
- *   vgiw_run --workload BFS/Kernel [--arch vgiw|fermi|sgmf|all]
+ *   vgiw_run --workload BFS/Kernel [--arch vgiw|fermi|sgmf|dice|all]
  *            [--lvc-bytes N] [--cvt-bits N] [--no-replication]
  *            [--coalescing] [--dump-ir] [--verbose]
  *            [--jobs N] [--json <file>]
@@ -137,7 +137,7 @@ constexpr FlagSpec kFlags[] = {
     {"--suite", nullptr,
      "sweep the whole registry through the experiment engine"},
     {"--list", nullptr, "print the workload registry and exit"},
-    {"--arch", "<vgiw|fermi|sgmf|all>",
+    {"--arch", "<vgiw|fermi|sgmf|dice|all>",
      "core model(s) to run (default: all)"},
     {"--jobs", "<n>",
      "sweep worker threads (default: hardware concurrency)"},

@@ -47,3 +47,37 @@ if(NOT rc EQUAL 0)
             "warm suite JSON differs from the cold run: "
             "${COLD_JSON} vs ${WARM_JSON}")
 endif()
+
+# Dice-only leg against the already-populated store: the dice.ck
+# artifacts published by the "all" cold run above must warm-serve an
+# --arch dice sweep with zero compilations and identical statistics.
+set(DICE_COLD_JSON ${WORKDIR}/suite_dice_cold.jsonl)
+set(DICE_WARM_JSON ${WORKDIR}/suite_dice_warm.jsonl)
+
+execute_process(COMMAND ${BIN} --suite --arch dice --artifact-dir ${STORE}
+                        --json ${DICE_COLD_JSON}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE dice_out
+                ERROR_VARIABLE dice_out)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "warm dice suite run failed (exit ${rc})")
+endif()
+if(NOT dice_out MATCHES "traced 0 workloads once each, 0 compilations")
+    message(FATAL_ERROR "dice run was not served from the all-arch "
+                        "store:\n${dice_out}")
+endif()
+
+execute_process(COMMAND ${BIN} --suite --arch dice --artifact-dir ${STORE}
+                        --json ${DICE_WARM_JSON}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "second warm dice suite run failed (exit ${rc})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${DICE_COLD_JSON} ${DICE_WARM_JSON}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "repeated warm dice suite JSON differs: "
+            "${DICE_COLD_JSON} vs ${DICE_WARM_JSON}")
+endif()
